@@ -1,0 +1,50 @@
+"""Sec. 9 conclusions, quantified.
+
+Paper: servers comfortably host ~8-9 x 1 Gbps ports; a single 10 Gbps
+port is nearly served under realistic traffic but falls short for the
+worst case; emerging (next-gen) servers close the remaining gap.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.sizing import conclusion_claims, ports_per_server
+from repro.hw.presets import NEHALEM_NEXT_GEN
+
+
+def test_conclusions(benchmark, save_result):
+    claims = benchmark(conclusion_claims)
+    rows = [
+        {"claim": "1 Gbps ports per server (realistic, 3R guarantee)",
+         "measured": claims["ports_1g"], "paper": "8-9"},
+        {"claim": "fraction of a 10G line served (realistic)",
+         "measured": claims["fraction_of_10g_realistic"],
+         "paper": "close to 1"},
+        {"claim": "fraction of a 10G line served (worst case)",
+         "measured": claims["fraction_of_10g_worst_case"],
+         "paper": "short of 1"},
+    ]
+    save_result("conclusions_sec9", format_table(
+        rows, ["claim", "measured", "paper"],
+        title="Sec 9 conclusions"))
+    assert claims["ports_1g"] in (8, 9)
+    assert claims["fraction_of_10g_realistic"] > 0.95
+    assert claims["fraction_of_10g_worst_case"] < 0.5
+
+
+def test_next_gen_closes_the_gap(benchmark):
+    """'Emerging servers promise to close the remaining gap to 10 Gbps,
+    possibly offering up to 40 Gbps.'"""
+
+    def future():
+        return ports_per_server(10e9, workload="worst-case",
+                                worst_case_matrix=False,
+                                app_name="forwarding",
+                                spec=NEHALEM_NEXT_GEN)
+
+    sizing = benchmark(future)
+    # The next-gen server serves at least one full worst-case 10 G port
+    # (38.8 Gbps capacity against the 2R = 20 Gbps requirement).
+    assert sizing.ports >= 1
+    assert sizing.processing_capacity_bps / 1e9 == pytest.approx(38.8,
+                                                                 rel=0.05)

@@ -1,0 +1,46 @@
+"""Sec. 8 discussion estimates: form factor, power, cost.
+
+Paper reference points: RB4 = 40 Gbps in 4U at 2.6 kW and $14,500 parts;
+a 40 Gbps hardware router = 1.6 kW (~60 % less power) at a $70,000 quoted
+price; motherboard-integrated controllers allow 1U servers meshing to a
+300-400 Gbps router in 30-40U vs the Cisco 7600's 360 Gbps in 21U.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import discussion
+
+
+def test_discussion_estimates(benchmark, save_result):
+    def run():
+        rb4 = discussion.rb4_estimate()
+        rows = [
+            {"metric": "RB4 capacity (Gbps)", "value": rb4.capacity_gbps,
+             "paper": 40},
+            {"metric": "RB4 power (kW)", "value": rb4.power_kw,
+             "paper": 2.6},
+            {"metric": "power overhead vs hardware router",
+             "value": discussion.power_overhead_vs_reference(rb4),
+             "paper": 0.6},
+            {"metric": "cost ratio (hardware price / RB4 parts)",
+             "value": discussion.cost_comparison()["ratio"], "paper": 4.8},
+        ]
+        form = discussion.form_factor_comparison()
+        rows.append({"metric": "integrated-NIC cluster (Gbps)",
+                     "value": form["cluster_gbps"], "paper": 350})
+        rows.append({"metric": "density vs Cisco 7600 (Gbps/U ratio)",
+                     "value": form["density_ratio"], "paper": 0.58})
+        return rows
+
+    rows = benchmark(run)
+    save_result("discussion_sec8", format_table(
+        rows, ["metric", "value", "paper"],
+        title="Sec 8: form factor, power, cost"))
+    by_metric = {row["metric"]: row["value"] for row in rows}
+    assert by_metric["power overhead vs hardware router"] == pytest.approx(
+        0.625, abs=0.05)
+    assert by_metric["cost ratio (hardware price / RB4 parts)"] > 4
+    assert 0.4 < by_metric["density vs Cisco 7600 (Gbps/U ratio)"] < 0.8
+    # Next-gen servers shrink form factor ~4x (Sec. 8).
+    assert discussion.next_gen_form_factor_gain() == pytest.approx(4.0)

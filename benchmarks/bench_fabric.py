@@ -1,0 +1,54 @@
+"""Fabric-level checks: the Sec. 3.3 latency estimate and fly structure.
+
+Paper: at N = 1024 external ports on current servers, paths cross ~2
+intermediate servers plus the two endpoints, ~96 us at 24 us/server.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.fabric import (
+    FabricNetwork,
+    fly_graph,
+    mesh_graph,
+    sec33_latency_estimate,
+)
+
+
+def test_sec33_latency(benchmark, save_result):
+    result = benchmark(sec33_latency_estimate, 1024)
+    rows = [{"metric": "intermediates/port",
+             "measured": result["intermediates_per_port"], "paper": 2.0},
+            {"metric": "servers on path",
+             "measured": result["servers_on_path"], "paper": 4},
+            {"metric": "latency (usec)",
+             "measured": result["latency_usec"], "paper": 96.0}]
+    save_result("fabric_sec33", format_table(
+        rows, ["metric", "measured", "paper"],
+        title="Sec 3.3: 1024-port n-fly latency estimate"))
+    assert result["latency_usec"] == pytest.approx(96.0)
+
+
+def test_fly_path_lengths(benchmark):
+    """All fly paths traverse exactly stages + 2 servers."""
+
+    def check():
+        fabric = FabricNetwork(fly_graph(4, 2))
+        hops = {fabric.hops(s, d)
+                for s in range(0, 16, 3) for d in range(1, 16, 3) if s != d}
+        return hops
+
+    hops = benchmark(check)
+    assert hops == {4}  # 2 stages + 2 terminals
+
+
+def test_mesh_transit_balance(benchmark):
+    """Uniform demand loads every mesh node identically (no hot spots --
+    the property that lets VLB drop the centralized scheduler)."""
+
+    def check():
+        fabric = FabricNetwork(mesh_graph(8))
+        loads = fabric.transit_load(10e9)
+        return set(round(v) for v in loads.values())
+
+    assert len(benchmark(check)) == 1

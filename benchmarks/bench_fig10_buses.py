@@ -1,0 +1,26 @@
+"""Fig. 10: per-packet load on the system buses vs the empirical bounds.
+
+Paper shape: memory, socket-I/O, PCIe, and inter-socket loads all sit well
+below their bounds at each application's saturation rate -- the buses are
+not the bottleneck (conclusion 3 of Sec. 5.3).
+"""
+
+from repro.analysis import format_table, run_experiment
+
+
+def test_fig10(benchmark, save_result):
+    result = benchmark(run_experiment, "F10")
+    rows = result["rows"]
+    save_result("fig10_buses", format_table(
+        rows, ["application", "component", "load_bytes_per_packet",
+               "empirical_bound_at_saturation", "headroom"],
+        title="Fig 10: bus loads at saturation (64B)"))
+    # All three applications are CPU-bottlenecked...
+    assert set(result["bottlenecks"].values()) == {"cpu"}
+    # ...and every bus keeps headroom at saturation.
+    for row in rows:
+        assert row["headroom"] > 1.0, (row["application"], row["component"])
+    # Routing stresses memory hardest (random lookups in a 256K table).
+    mem = {row["application"]: row["load_bytes_per_packet"]
+           for row in rows if row["component"] == "memory"}
+    assert mem["routing"] > mem["forwarding"]

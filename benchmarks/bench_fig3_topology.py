@@ -1,0 +1,37 @@
+"""Fig. 3: cluster servers required vs external ports, four configurations.
+
+Paper shape: full mesh while fanout allows (up to 32 ports for current
+servers, 128 for 20-slot servers), then k-ary n-fly with intermediate
+servers (~2 per port at N=1024 on current servers); the Arista-based
+switched cluster costs more at every port count.
+"""
+
+import pytest
+
+from repro.analysis import format_table, run_experiment
+from repro.core.provision import max_mesh_ports, servers_required
+
+
+def test_fig3(benchmark, save_result):
+    result = benchmark(run_experiment, "F3")
+    rows = result["rows"]
+    save_result("fig3_topology", format_table(
+        rows, ["ports", "current", "more-nics", "faster", "switched_equiv",
+               "current_kind"],
+        title="Fig 3: servers required for an N-port 10Gbps router"))
+    # Mesh-to-fly transition points.
+    assert max_mesh_ports("current") == 32
+    assert max_mesh_ports("more-nics") == 128
+    # Switched cluster always costs more (in server equivalents).
+    for row in rows:
+        assert row["switched_equiv"] > row["current"]
+    # ~2 intermediate servers per port at 1024 ports (current servers).
+    row_1024 = next(r for r in rows if r["ports"] == 1024)
+    assert row_1024["current"] / 1024 == pytest.approx(3.0, rel=0.01)
+
+
+def test_fig3_server_count_scaling(benchmark):
+    """Provisioning math is cheap; benchmark the full sweep."""
+    counts = benchmark(lambda: [servers_required(n, "current")
+                                for n in (4, 16, 64, 256, 1024, 2048)])
+    assert counts == sorted(counts)

@@ -1,0 +1,26 @@
+"""Fig. 6: forwarding rates with and without multiple queues.
+
+Paper (64 B, per forwarding path): parallel 1.7 Gbps; pipeline 1.2 (shared
+L3) / 0.6 (cross-cache); multi-queue fixes the split scenario by >3x and
+restores overlapping paths from 0.7 to 1.7 Gbps.
+"""
+
+import pytest
+
+from repro.analysis import format_table, run_experiment
+from repro.perfmodel import scenario_rate_gbps
+
+
+def test_fig6(benchmark, save_result):
+    result = benchmark(run_experiment, "F6")
+    rows = result["rows"]
+    save_result("fig6_queues", format_table(
+        rows, ["scenario", "rate_gbps", "paper_gbps", "cores"],
+        title="Fig 6: toy forwarding-path scenarios (64B)"))
+    assert scenario_rate_gbps("parallel") == pytest.approx(1.7, abs=0.05)
+    assert scenario_rate_gbps("pipeline") == pytest.approx(1.2, abs=0.05)
+    assert scenario_rate_gbps("pipeline_cross_cache") == pytest.approx(
+        0.6, abs=0.05)
+    assert scenario_rate_gbps("overlap") == pytest.approx(0.7, abs=0.05)
+    assert (scenario_rate_gbps("split_multi_queue")
+            / scenario_rate_gbps("split")) > 3.0

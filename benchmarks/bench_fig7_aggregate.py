@@ -1,0 +1,23 @@
+"""Fig. 7: cumulative impact of architecture + multi-queue + batching.
+
+Paper: the tuned Nehalem (multi-queue, batching) forwards 64 B packets
+6.7x faster than the unmodified Nehalem and 11x faster than the shared-bus
+Xeon.
+"""
+
+from repro.analysis import format_table, run_experiment
+
+
+def test_fig7(benchmark, save_result):
+    result = benchmark(run_experiment, "F7")
+    rows = result["rows"]
+    save_result("fig7_aggregate", format_table(
+        rows, ["label", "rate_mpps", "rate_gbps", "speedup_to_final",
+               "bottleneck"],
+        title="Fig 7: aggregate impact of the design changes (64B)"))
+    rates = [row["rate_mpps"] for row in rows]
+    assert rates == sorted(rates)  # each change helps
+    final, xeon = rates[-1], rates[0]
+    assert 9 < final / xeon < 14          # paper: 11x
+    base_nehalem = rates[1]
+    assert 5.5 < final / base_nehalem < 8.5   # paper: 6.7x

@@ -1,0 +1,34 @@
+"""Fig. 8: forwarding rate vs packet size (top) and vs application (bottom).
+
+Paper: 64 B forwarding saturates at 9.7 Gbps (CPU-bound); >=512 B and the
+Abilene trace hit the 24.6 Gbps NIC-slot limit; IP routing 6.35 Gbps and
+IPsec 1.4 Gbps at 64 B; Abilene rates 24.6 / 24.6 / 4.45 Gbps.
+"""
+
+import pytest
+
+from repro.analysis import format_table, run_experiment
+
+
+def test_fig8(benchmark, save_result):
+    result = benchmark(run_experiment, "F8")
+    top = format_table(
+        result["size_rows"],
+        ["packet_bytes", "rate_gbps", "rate_mpps", "bottleneck"],
+        title="Fig 8 (top): minimal forwarding vs packet size")
+    bottom = format_table(
+        result["app_rows"],
+        ["application", "rate_64b_gbps", "paper_64b_gbps",
+         "rate_abilene_gbps", "paper_abilene_gbps"],
+        title="Fig 8 (bottom): per-application rates")
+    save_result("fig8_workloads", top + "\n\n" + bottom)
+
+    for row in result["app_rows"]:
+        assert row["rate_64b_gbps"] == pytest.approx(row["paper_64b_gbps"],
+                                                     rel=0.02)
+        assert row["rate_abilene_gbps"] == pytest.approx(
+            row["paper_abilene_gbps"], rel=0.02)
+    # Small packets are CPU-bound, large ones NIC-bound.
+    by_size = {row["packet_bytes"]: row for row in result["size_rows"]}
+    assert by_size[64]["bottleneck"] == "cpu"
+    assert by_size[1024]["bottleneck"] == "nic"

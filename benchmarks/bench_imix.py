@@ -1,0 +1,39 @@
+"""IMIX workloads: rate-vs-mixture surface for each application.
+
+Complements Fig. 8's fixed-size and Abilene points with the standard
+Internet-mix workloads used in router benchmarking.
+"""
+
+import pytest
+
+from repro import calibration as cal
+from repro.analysis import format_table
+from repro.perfmodel import max_loss_free_rate
+from repro.workloads.imix import MIXES, imix_rate_gbps, mix_mean_bytes
+
+
+def test_imix_rates(benchmark, save_result):
+    def sweep():
+        rows = []
+        for mix_name in sorted(MIXES):
+            row = {"mix": mix_name,
+                   "mean_bytes": mix_mean_bytes(MIXES[mix_name])}
+            for app in ("forwarding", "routing", "ipsec"):
+                row[app + "_gbps"] = imix_rate_gbps(app, mix_name)
+            rows.append(row)
+        return rows
+
+    rows = benchmark(sweep)
+    save_result("imix_rates", format_table(
+        rows, ["mix", "mean_bytes", "forwarding_gbps", "routing_gbps",
+               "ipsec_gbps"],
+        title="Loss-free rates under IMIX mixtures"))
+    by_mix = {row["mix"]: row for row in rows}
+    # The minimum mix reproduces the 64 B worst case exactly.
+    assert by_mix["minimum"]["forwarding_gbps"] == pytest.approx(9.77,
+                                                                 rel=0.01)
+    # Richer mixes always help; ordering by mean size holds per app.
+    for app in ("forwarding_gbps", "routing_gbps", "ipsec_gbps"):
+        ordered = sorted(rows, key=lambda r: r["mean_bytes"])
+        values = [row[app] for row in ordered]
+        assert values == sorted(values)

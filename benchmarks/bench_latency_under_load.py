@@ -1,0 +1,58 @@
+"""Latency under load: the M/D/1 curve against the DES.
+
+Quantifies the "relaxed performance guarantees" trade-off (Sec. 2): how
+cluster latency departs from the unloaded 47.6-66.4 us figures as
+utilization rises, and where a latency budget caps usable load.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import RouteBricksRouter
+from repro.perfmodel.queueing import (
+    latency_vs_load_curve,
+    utilization_for_latency_budget,
+)
+from repro.workloads import FlowGenerator
+
+
+def test_latency_load_curve(benchmark, save_result):
+    rows = benchmark(latency_vs_load_curve)
+    save_result("latency_under_load", format_table(
+        rows, ["utilization", "latency_usec"],
+        title="Cluster latency vs per-stage utilization (M/D/1, direct path)"))
+    latencies = [row["latency_usec"] for row in rows]
+    assert latencies == sorted(latencies)
+    # Unloaded matches the Sec. 6.2 direct-path figure.
+    assert rows[0]["latency_usec"] == pytest.approx(47.6, abs=0.1)
+
+
+def test_latency_budget_inversion(benchmark):
+    rho = benchmark(utilization_for_latency_budget, 60.0)
+    assert 0.5 < rho < 1.0
+
+
+def test_des_latency_grows_with_load(benchmark, save_result):
+    """Simulated median latency at three offered intensities."""
+
+    def run():
+        rows = []
+        for label, gap in (("light", 6e-4), ("moderate", 2e-4),
+                           ("heavy", 1e-4)):
+            gen = FlowGenerator(num_flows=50, packets_per_flow=120,
+                                packet_bytes=740, burst_size=8,
+                                burst_gap_sec=gap,
+                                intra_burst_gap_sec=4e-7, seed=2)
+            report = RouteBricksRouter(seed=4).replay_pair(
+                gen.timed_packets())
+            rows.append({"load": label,
+                         "p50_usec": report.latency_usec.percentile(50),
+                         "p99_usec": report.latency_usec.percentile(99)})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("latency_des_load", format_table(
+        rows, ["load", "p50_usec", "p99_usec"],
+        title="Simulated cluster latency vs offered load"))
+    p50s = [row["p50_usec"] for row in rows]
+    assert p50s == sorted(p50s)

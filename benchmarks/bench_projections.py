@@ -1,0 +1,28 @@
+"""Sec. 5.3 projections: next-generation (4-socket) server rates.
+
+Paper: 38.8 / 19.9 / 5.8 Gbps for forwarding / routing / IPsec at 64 B
+(with routing turning memory-bound), and ~70 Gbps for Abilene forwarding
+absent the two-NIC-slot limit.
+"""
+
+import pytest
+
+from repro.analysis import format_table, run_experiment
+
+
+def test_projections(benchmark, save_result):
+    result = benchmark(run_experiment, "P1")
+    rows = result["rows"]
+    save_result("projections", format_table(
+        rows, ["application", "projected_gbps", "paper_gbps", "bottleneck"],
+        title="Sec 5.3: next-generation server projections (64B)"))
+    by_name = {row["application"]: row for row in rows}
+    assert by_name["forwarding"]["projected_gbps"] == pytest.approx(
+        38.8, rel=0.05)
+    assert by_name["routing"]["projected_gbps"] == pytest.approx(
+        19.9, rel=0.05)
+    assert by_name["ipsec"]["projected_gbps"] == pytest.approx(5.8, rel=0.05)
+    # The scaling insight: routing becomes memory-bound (4x CPU, 2x mem).
+    assert by_name["routing"]["bottleneck"] == "memory"
+    abilene = by_name["forwarding (abilene, no NIC limit)"]
+    assert 60 < abilene["projected_gbps"] < 90

@@ -1,0 +1,48 @@
+"""RB4 latency (Sec. 6.2): model endpoints and simulated distribution.
+
+Paper: ~24 us per server (4 DMA transfers + batch wait + processing);
+47.6-66.4 us through the cluster (2-3 hops).  Reference: 26.3 us measured
+on a Cisco 6500 (Papagiannaki et al.).
+"""
+
+import pytest
+
+from repro.analysis import format_table, run_experiment
+from repro.core import RouteBricksRouter
+from repro.core.latency import latency_range_usec
+from repro.workloads import FlowGenerator
+
+
+def test_rb4_latency_model(benchmark, save_result):
+    result = benchmark(run_experiment, "RB4-L")
+    rows = result["rows"]
+    save_result("rb4_latency", format_table(
+        rows, ["metric", "measured_usec", "paper_usec"],
+        title="RB4 latency (Sec 6.2)"))
+    for row in rows:
+        assert row["measured_usec"] == pytest.approx(row["paper_usec"],
+                                                     rel=0.02)
+
+
+def test_rb4_latency_distribution(benchmark, save_result):
+    """Simulated end-to-end latency under moderate load: the distribution
+    straddles the direct/indirect model endpoints plus queueing."""
+
+    def simulate():
+        gen = FlowGenerator(num_flows=40, packets_per_flow=150,
+                            packet_bytes=740, burst_size=8,
+                            burst_gap_sec=1.5e-4, intra_burst_gap_sec=4e-7,
+                            seed=2)
+        router = RouteBricksRouter(seed=7)
+        return router.replay_pair(gen.timed_packets())
+
+    report = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    direct, indirect = latency_range_usec()
+    hist = report.latency_usec
+    rows = [{"percentile": p, "latency_usec": hist.percentile(p)}
+            for p in (1, 25, 50, 75, 99)]
+    save_result("rb4_latency_distribution", format_table(
+        rows, ["percentile", "latency_usec"],
+        title="RB4 simulated latency distribution (usec)"))
+    assert hist.min() >= direct - 0.5
+    assert direct <= hist.percentile(50) <= indirect + 40

@@ -1,0 +1,56 @@
+"""RB4 routing performance (Sec. 6.2).
+
+Paper: 12 Gbps aggregate for 64 B packets (CPU-bound, inside the expected
+12.7-19.4 Gbps window minus reordering-avoidance overhead) and 35 Gbps for
+the Abilene workload (NIC-limited: ~8.75 Gbps external + ~3 Gbps internal
+per NIC).
+"""
+
+import pytest
+
+from repro import calibration as cal
+from repro.analysis import format_table, run_experiment
+from repro.core import RouteBricksRouter
+
+
+def test_rb4_throughput(benchmark, save_result):
+    result = benchmark(run_experiment, "RB4-T")
+    rows = result["rows"]
+    save_result("rb4_throughput", format_table(
+        rows, ["workload", "aggregate_gbps", "paper_gbps", "binding"],
+        title="RB4 routing performance (Sec 6.2)"))
+    for row in rows:
+        assert row["aggregate_gbps"] == pytest.approx(row["paper_gbps"],
+                                                      rel=0.02)
+    by_name = {row["workload"]: row for row in rows}
+    assert by_name["64B"]["binding"] == "cpu"
+    assert by_name["abilene"]["binding"] == "nic"
+
+
+def test_rb4_nic_accounting(benchmark):
+    """The Abilene NIC decomposition: external ~8.75 + internal ~3 Gbps."""
+
+    def decompose():
+        router = RouteBricksRouter()
+        result = router.max_throughput(cal.ABILENE_MEAN_PACKET_BYTES)
+        per_port = result.per_port_bps
+        internal = per_port / (router.num_nodes - 1)
+        return per_port, internal
+
+    per_port, internal = benchmark(decompose)
+    assert per_port / 1e9 == pytest.approx(8.75, rel=0.02)
+    assert internal / 1e9 == pytest.approx(2.9, rel=0.05)
+
+
+def test_rb4_64b_expected_window(benchmark):
+    """Without reordering-avoidance overhead RB4 sits in the paper's
+    expected 12.7-19.4 Gbps window; the overhead brings it to 12."""
+
+    def window():
+        plain = RouteBricksRouter(use_flowlets=False).max_throughput(64)
+        with_overhead = RouteBricksRouter().max_throughput(64)
+        return plain.aggregate_gbps, with_overhead.aggregate_gbps
+
+    plain, with_overhead = benchmark(window)
+    assert 12.7 < plain < 19.4
+    assert with_overhead == pytest.approx(12.0, rel=0.02)

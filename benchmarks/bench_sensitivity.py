@@ -1,0 +1,19 @@
+"""Robustness of the reproduction's conclusions to calibration error.
+
+Perturbs every per-packet cost axis by +-20 % and re-checks the paper's
+qualitative conclusions (CPU bottleneck at 64 B, NIC limit on Abilene,
+application ordering, the next-gen memory crossover).
+"""
+
+from repro.analysis import format_table
+from repro.analysis.sensitivity import all_conclusions_hold, robustness_sweep
+
+
+def test_conclusions_robust(benchmark, save_result):
+    rows = benchmark(robustness_sweep)
+    save_result("sensitivity", format_table(
+        rows, ["axis", "factor", "cpu_bottleneck_64b",
+               "nic_limited_abilene", "app_ordering",
+               "routing_memory_bound_next_gen"],
+        title="Conclusion robustness under calibration perturbation"))
+    assert all_conclusions_hold(rows)

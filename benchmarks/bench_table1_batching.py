@@ -1,0 +1,21 @@
+"""Table 1: forwarding rates for the three polling configurations.
+
+Paper: no batching 1.46 Gbps, poll-driven 4.97 Gbps, poll+NIC-driven
+9.77 Gbps (64 B packets, all 8 cores).
+"""
+
+import pytest
+
+from repro.analysis import format_table, run_experiment
+
+
+def test_table1(benchmark, save_result):
+    result = benchmark(run_experiment, "T1")
+    rows = result["rows"]
+    save_result("table1_batching", format_table(
+        rows, ["kp", "kn", "rate_gbps", "paper_gbps", "cycles_per_packet"],
+        title="Table 1: polling configurations (64B minimal forwarding)"))
+    for row in rows:
+        assert row["rate_gbps"] == pytest.approx(row["paper_gbps"], rel=0.01)
+    rates = [row["rate_gbps"] for row in rows]
+    assert rates == sorted(rates)  # each batching level helps

@@ -1,0 +1,29 @@
+"""Internal consistency: the analytic solver vs the timed simulation.
+
+Not a paper artifact -- this guards the reproduction itself: two
+independent implementations of the forwarding story must agree on the
+maximum loss-free rate across the batching grid.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.validation import max_relative_error, validate_forwarding
+
+
+def test_analytic_vs_des(benchmark, save_result):
+    def run():
+        return validate_forwarding(
+            grid=[(1, 1, 64), (32, 1, 64), (32, 16, 64), (32, 16, 256)],
+            tolerance_bps=0.25e9)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"kp": p.kp, "kn": p.kn, "packet_bytes": p.packet_bytes,
+             "analytic_gbps": p.analytic_gbps,
+             "simulated_gbps": p.simulated_gbps,
+             "rel_error": p.relative_error}
+            for p in points]
+    save_result("validation_grid", format_table(
+        rows, ["kp", "kn", "packet_bytes", "analytic_gbps",
+               "simulated_gbps", "rel_error"],
+        title="Analytic model vs timed DES (max loss-free rate)",
+        float_format="%.3f"))
+    assert max_relative_error(points) < 0.12

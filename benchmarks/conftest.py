@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper artifact (table or figure), checks the
+paper-vs-measured shape, and writes the rendered rows to
+``benchmarks/results/<id>.txt`` so the harness leaves inspectable output.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a named artifact and echo it to stdout."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / (name + ".txt")
+        path.write_text(text + "\n")
+        print("\n" + text)
+
+    return _save

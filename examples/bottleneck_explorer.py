@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Explore where a packet-processing workload bottlenecks (Sec. 5.3 as a tool).
+
+For each application and packet size, prints the per-packet load on every
+system component against its empirical bound, names the binding component,
+and projects the same workload onto the next-generation server.
+
+Run:  python examples/bottleneck_explorer.py
+"""
+
+from repro import calibration as cal
+from repro.analysis import deconstruct, format_table
+from repro.hw.presets import NEHALEM, NEHALEM_NEXT_GEN
+from repro.perfmodel import max_loss_free_rate
+
+
+def explore(app, packet_bytes):
+    report = deconstruct(app, packet_bytes)
+    rows = []
+    for component in ("cpu", "memory", "io", "pcie", "qpi"):
+        rows.append({
+            "component": component,
+            "load/packet": report.loads[component],
+            "bound/packet": report.empirical_bounds[component],
+            "headroom": report.headroom(component),
+        })
+    title = "%s @ %dB -> saturates at %.2f Mpps, %s-bound" % (
+        app.name, packet_bytes, report.saturation_pps / 1e6,
+        report.bottleneck)
+    print(format_table(rows, ["component", "load/packet", "bound/packet",
+                              "headroom"], title=title))
+    print()
+
+
+def main():
+    for app in cal.APPLICATIONS.values():
+        explore(app, 64)
+
+    print("=== packet-size sweep (minimal forwarding) ===")
+    rows = []
+    for size in (64, 128, 256, 512, 1024, 1500):
+        now = max_loss_free_rate(cal.MINIMAL_FORWARDING, size, spec=NEHALEM)
+        future = max_loss_free_rate(cal.MINIMAL_FORWARDING, size,
+                                    spec=NEHALEM_NEXT_GEN, nic_limited=False)
+        rows.append({"bytes": size,
+                     "nehalem_gbps": now.rate_gbps,
+                     "nehalem_bound": now.bottleneck,
+                     "next_gen_gbps": future.rate_gbps,
+                     "next_gen_bound": future.bottleneck})
+    print(format_table(rows, ["bytes", "nehalem_gbps", "nehalem_bound",
+                              "next_gen_gbps", "next_gen_bound"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Extend the router with new functionality and predict its performance.
+
+The paper's closing challenge (Sec. 8) is an API that lets a programmer
+add non-traditional packet processing *and* predict the performance
+implications.  This example defines three hypothetical applications --
+a NAT, a flow-table-heavy monitor, and a payload-scanning DPI -- and asks
+the model where each one lands on the prototype server and on an RB4-size
+cluster.
+
+Run:  python examples/custom_application.py
+"""
+
+from repro.analysis import format_table
+from repro.analysis.report import ascii_bars
+from repro.perfmodel.custom_app import define_application, predict
+
+APPLICATIONS = [
+    # A NAT: header rewrite + one flow-table touch.
+    define_application("nat", instructions_per_packet=350,
+                       cycles_per_instruction=1.2, extra_memory_lines=2,
+                       touches_payload=False),
+    # A per-flow monitor: several counter updates in a big table.
+    define_application("flow-monitor", instructions_per_packet=700,
+                       cycles_per_instruction=1.4, extra_memory_lines=6,
+                       touches_payload=False),
+    # Signature-scanning DPI: touches every payload byte.
+    define_application("dpi", instructions_per_packet=900,
+                       cycles_per_instruction=0.9, cycles_per_byte=6.0,
+                       extra_memory_lines=4),
+]
+
+
+def main():
+    rows = []
+    for app in APPLICATIONS:
+        for size in (64, 740):
+            result = predict(app, packet_bytes=size, cluster_nodes=4)
+            rows.append({
+                "application": app.name,
+                "packet_bytes": size,
+                "server_gbps": result["server_gbps"],
+                "cluster_gbps": result["cluster_gbps"],
+                "bottleneck": result["bottleneck"],
+            })
+    print(format_table(rows, ["application", "packet_bytes", "server_gbps",
+                              "cluster_gbps", "bottleneck"],
+                       title="Predicted performance of new applications"))
+
+    labels = ["%s/%dB" % (r["application"], r["packet_bytes"])
+              for r in rows]
+    print()
+    print(ascii_bars(labels, [r["server_gbps"] for r in rows],
+                     title="Single-server saturation", unit=" Gbps"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Plan a RouteBricks cluster for a target port count (Fig. 3 as a tool).
+
+Given N external 10 Gbps ports and a server model, picks full mesh vs
+k-ary n-fly, sizes the cluster, prices it against the switched-cluster
+alternative, and checks the VLB switching guarantees for uniform and
+worst-case traffic.
+
+Run:  python examples/topology_planner.py [ports]
+"""
+
+import sys
+
+from repro.core import (
+    ClassicVlb,
+    FullMesh,
+    check_throughput,
+    provision,
+    switched_cluster_equivalent_servers,
+)
+from repro.core.mac_encoding import mac_trick_feasible
+from repro.core.provision import SERVER_MODELS, cost_usd
+from repro.core.vlb import processing_rate_bound, required_internal_link_rate
+from repro.workloads import permutation_matrix, uniform_matrix
+
+PORT_RATE = 10e9
+
+
+def plan(num_ports):
+    print("=== planning an N=%d port, 10 Gbps/port router ===" % num_ports)
+    for name in ("current", "more-nics", "faster"):
+        topo = provision(num_ports, name)
+        kind = type(topo).__name__
+        servers = topo.total_servers()
+        line = "  %-10s %-9s %5d servers  ($%s)" % (
+            name, kind, servers, format(cost_usd(servers), ","))
+        if isinstance(topo, FullMesh):
+            line += "  internal links: %.2f Gbps each" % (
+                topo.internal_link_rate_bps(PORT_RATE) / 1e9)
+        else:
+            line += "  %d stages x %d intermediates" % (
+                topo.stages, topo.servers_per_stage())
+        print(line)
+    switched = switched_cluster_equivalent_servers(num_ports)
+    print("  %-10s %-9s %5d server-equivalents ($%s)"
+          % ("switched", "Clos", switched, format(cost_usd(switched), ",")))
+    print("  single-lookup MAC steering feasible: %s"
+          % mac_trick_feasible(num_ports))
+
+    # VLB guarantee check on the mesh (where one is feasible).
+    n = min(num_ports, 8)
+    print("\n  switching guarantees (classic VLB, %d-node mesh):" % n)
+    for label, matrix in (("uniform", uniform_matrix(n, PORT_RATE)),
+                          ("worst-case", permutation_matrix(n, PORT_RATE))):
+        check = check_throughput(
+            matrix, PORT_RATE,
+            internal_link_bps=required_internal_link_rate(n, PORT_RATE) * 1.01,
+            node_processing_bps=processing_rate_bound(PORT_RATE,
+                                                      uniform=False),
+            policy=ClassicVlb())
+        print("    %-10s 100%% throughput: %-5s (c = %.2f, link util %.2f)"
+              % (label, check.ok, check.max_node_c_factor,
+                 check.max_link_utilization))
+
+
+def main():
+    ports = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    targets = [ports] if ports else [4, 32, 128, 1024]
+    print("server models: %s\n" % ", ".join(sorted(SERVER_MODELS)))
+    for n in targets:
+        plan(n)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro: a reproduction of RouteBricks (SOSP 2009).
+
+RouteBricks is a router architecture that parallelizes packet processing
+both across commodity servers (via Valiant load-balanced switching) and
+within each server (multi-queue NICs, one-core-per-packet scheduling, and
+batched I/O).  This library reproduces the system and its evaluation as a
+calibrated performance model plus a packet-level discrete-event simulation,
+with real substrates (LPM routing, AES-128/ESP, a Click-like dataplane).
+
+Public entry points
+-------------------
+
+``repro.perfmodel``
+    Single-server performance model (Tables 1-3, Figs 6-10).
+``repro.core``
+    The cluster router: VLB switching, topologies, RB4 (Sec. 3, 6).
+``repro.click``
+    The Click-like modular dataplane.
+``repro.workloads``
+    Traffic generation (fixed-size, Abilene-like, traffic matrices).
+``repro.analysis``
+    Bottleneck deconstruction and experiment runners.
+"""
+
+from . import calibration, units
+from .errors import (
+    CapacityError,
+    ConfigurationError,
+    CryptoError,
+    PacketError,
+    ReproError,
+    RoutingError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "calibration",
+    "units",
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "CapacityError",
+    "PacketError",
+    "RoutingError",
+    "SchedulingError",
+    "SimulationError",
+    "CryptoError",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""Bottleneck deconstruction (Sec. 5.3).
+
+For each component: estimate the per-packet upper bound (capacity divided
+by packet rate, both nominal and empirical), measure the per-packet load,
+and flag the component whose measured load approaches its bound.  Since
+the calibrated loads are constant in the input rate (the paper's item 4),
+the load "lines" in Figs. 9-10 are flat and the intersection with a bound
+line is exactly the saturation rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .. import calibration as cal
+from ..hw.presets import NEHALEM
+from ..hw.server import ServerSpec
+from ..perfmodel.bounds import bounds_for
+from ..perfmodel.loads import DEFAULT_CONFIG, ServerConfig, per_packet_loads
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Loads-vs-bounds for one (app, packet size, server) point."""
+
+    app: str
+    packet_bytes: float
+    loads: Dict[str, float]            # per-packet load per component
+    nominal_bounds: Dict[str, float]   # at saturation packet rate
+    empirical_bounds: Dict[str, float]
+    saturation_pps: float
+    bottleneck: str
+
+    def headroom(self, component: str, empirical: bool = True) -> float:
+        """bound/load at saturation (1.0 = the binding component)."""
+        bounds = self.empirical_bounds if empirical else self.nominal_bounds
+        load = self.loads[component]
+        if load == 0:
+            return float("inf")
+        return bounds[component] / load
+
+
+_COMPONENT_LOADS = {
+    "cpu": lambda lv: lv.cpu_cycles,
+    "memory": lambda lv: lv.mem_bytes,
+    "io": lambda lv: lv.io_bytes,
+    "pcie": lambda lv: lv.pcie_bytes,
+    "qpi": lambda lv: lv.qpi_bytes,
+}
+
+
+def deconstruct(app: cal.AppCost, packet_bytes: float = 64,
+                spec: ServerSpec = NEHALEM,
+                config: ServerConfig = DEFAULT_CONFIG) -> BottleneckReport:
+    """Build the Figs. 9-10 comparison for one application."""
+    from ..perfmodel.throughput import max_loss_free_rate
+
+    loads_vec = per_packet_loads(app, packet_bytes, config, spec)
+    result = max_loss_free_rate(app, packet_bytes, spec, config,
+                                empirical_bounds=True, nic_limited=False)
+    rate = result.rate_pps
+    bounds = bounds_for(spec)
+    loads = {name: get(loads_vec) for name, get in _COMPONENT_LOADS.items()}
+    nominal = {}
+    empirical = {}
+    for name in _COMPONENT_LOADS:
+        bound = bounds[name]
+        nominal[name] = bound.per_packet_bound(rate, empirical=False)
+        empirical[name] = bound.per_packet_bound(rate, empirical=True)
+    return BottleneckReport(app=app.name, packet_bytes=packet_bytes,
+                            loads=loads, nominal_bounds=nominal,
+                            empirical_bounds=empirical,
+                            saturation_pps=rate,
+                            bottleneck=result.bottleneck)
+
+
+def load_series(app: cal.AppCost, packet_bytes: float = 64,
+                spec: ServerSpec = NEHALEM,
+                config: ServerConfig = DEFAULT_CONFIG,
+                rates_mpps: List[float] = None) -> List[dict]:
+    """Per-packet load at increasing input rates (the Figs. 9-10 x-axis).
+
+    The loads themselves are rate-independent (constant lines); the bound
+    columns fall as capacity/rate.  One row per rate.
+    """
+    if rates_mpps is None:
+        rates_mpps = [2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+    loads_vec = per_packet_loads(app, packet_bytes, config, spec)
+    bounds = bounds_for(spec)
+    rows = []
+    for mpps in rates_mpps:
+        if mpps <= 0:
+            raise ValueError("rates must be positive")
+        rate = mpps * 1e6
+        row = {"rate_mpps": mpps}
+        for name, get in _COMPONENT_LOADS.items():
+            row[name + "_load"] = get(loads_vec)
+            row[name + "_nominal_bound"] = bounds[name].per_packet_bound(rate)
+            row[name + "_empirical_bound"] = bounds[name].per_packet_bound(
+                rate, empirical=True)
+        rows.append(row)
+    return rows
+
+
+def cpu_load_from_polling(total_cycles: float, total_packets: int,
+                          empty_polls: int,
+                          cycles_per_empty_poll: float = 120.0) -> float:
+    """The Sec. 5.3 empty-poll correction.
+
+    Click polls continuously, so raw CPU utilization is always 100 %;
+    the true per-packet load deducts ``empty_polls x ce`` from the cycle
+    total before dividing by packets.
+    """
+    if total_packets <= 0:
+        raise ValueError("need >= 1 packet")
+    if empty_polls < 0 or total_cycles < 0:
+        raise ValueError("counts cannot be negative")
+    useful = total_cycles - empty_polls * cycles_per_empty_poll
+    if useful < 0:
+        raise ValueError("empty-poll cycles exceed total cycles")
+    return useful / total_packets

@@ -1,0 +1,82 @@
+"""VTune-style measurement of the simulated server (Sec. 5.3 methodology).
+
+The paper measures "true" per-packet CPU load by running Click at several
+input rates, counting total cycles and empty polls, and deducting the
+empty-poll cycles (Click polls at 100 % CPU, so raw utilization is
+meaningless).  This module applies exactly that procedure to the *timed
+simulation*: run `repro.click.simrun` at increasing offered rates, read
+the core cycle ledgers and poll counters, apply the empty-poll correction,
+and recover the cycles/packet line of Fig. 9 -- from measurement rather
+than from the calibration constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .. import calibration as cal
+from ..click.simrun import EMPTY_POLL_CYCLES, TimedForwardingRun
+from ..errors import ConfigurationError
+from ..hw.presets import NEHALEM
+from ..hw.server import Server
+from .bottleneck import cpu_load_from_polling
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One measured operating point."""
+
+    offered_mpps: float
+    measured_cycles_per_packet: float
+    raw_cpu_utilization: float
+    empty_poll_fraction: float
+
+
+def profile_cpu_load(packet_bytes: int = 64,
+                     offered_gbps: List[float] = (2, 4, 6, 8),
+                     kp: int = cal.DEFAULT_KP, kn: int = cal.DEFAULT_KN,
+                     duration_sec: float = 1e-3) -> List[ProfilePoint]:
+    """Measure cycles/packet at several offered rates on a fresh server.
+
+    Returns one point per rate.  The measured line should be flat (loads
+    are rate-independent, the paper's conclusion 4) and should match the
+    calibrated model within the simulation's quantization.
+    """
+    if not offered_gbps:
+        raise ConfigurationError("need at least one offered rate")
+    points = []
+    for gbps in offered_gbps:
+        if gbps <= 0:
+            raise ConfigurationError("offered rates must be positive")
+        server = Server(NEHALEM, num_ports=4, queues_per_port=2)
+        run = TimedForwardingRun(server, packet_bytes=packet_bytes,
+                                 kp=kp, kn=kn)
+        report = run.run(offered_bps=gbps * 1e9, duration_sec=duration_sec)
+        total_cycles = sum(core.cycles_used for core in server.cores)
+        if report.forwarded_packets == 0:
+            raise ConfigurationError(
+                "no packets forwarded at %.1f Gbps" % gbps)
+        measured = cpu_load_from_polling(
+            total_cycles, report.forwarded_packets, report.empty_polls,
+            cycles_per_empty_poll=EMPTY_POLL_CYCLES)
+        # Raw utilization over the run: busy cycles / available cycles.
+        available = NEHALEM.cycles_per_second * duration_sec
+        points.append(ProfilePoint(
+            offered_mpps=report.forwarded_packets / duration_sec / 1e6,
+            measured_cycles_per_packet=measured,
+            raw_cpu_utilization=total_cycles / available,
+            empty_poll_fraction=(report.empty_polls / report.total_polls
+                                 if report.total_polls else 0.0),
+        ))
+    return points
+
+
+def measured_load_is_flat(points: List[ProfilePoint],
+                          tolerance: float = 0.05) -> bool:
+    """Check the paper's conclusion 4: cycles/packet constant in rate."""
+    if len(points) < 2:
+        raise ConfigurationError("need >= 2 points")
+    values = [p.measured_cycles_per_packet for p in points]
+    mean = sum(values) / len(values)
+    return all(abs(v - mean) / mean <= tolerance for v in values)

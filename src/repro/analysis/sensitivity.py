@@ -1,0 +1,93 @@
+"""Sensitivity of the reproduction's conclusions to calibration error.
+
+The model's constants are derived from the paper's published numbers; any
+of them could be off by some percentage without changing the paper's
+*conclusions* (who bottlenecks, who wins, where crossovers fall).  This
+module perturbs the per-packet cost vectors and checks which conclusions
+survive -- quantifying how much calibration slack the qualitative results
+tolerate, which is the honest way to present a calibrated reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+from ..hw.presets import NEHALEM, NEHALEM_NEXT_GEN
+from ..perfmodel.throughput import max_loss_free_rate
+
+
+def perturbed_app(app: cal.AppCost, cpu_factor: float = 1.0,
+                  mem_factor: float = 1.0,
+                  io_factor: float = 1.0) -> cal.AppCost:
+    """A copy of ``app`` with scaled per-packet costs."""
+    for factor in (cpu_factor, mem_factor, io_factor):
+        if factor <= 0:
+            raise ConfigurationError("perturbation factors must be positive")
+    return replace(
+        app,
+        cpu_base_cycles=app.cpu_base_cycles * cpu_factor,
+        cpu_per_byte_cycles=app.cpu_per_byte_cycles * cpu_factor,
+        mem_base_bytes=app.mem_base_bytes * mem_factor,
+        mem_per_byte=app.mem_per_byte * mem_factor,
+        io_base_bytes=app.io_base_bytes * io_factor,
+        io_per_byte=app.io_per_byte * io_factor,
+    )
+
+
+def conclusions_at(cpu_factor: float = 1.0, mem_factor: float = 1.0,
+                   io_factor: float = 1.0) -> Dict[str, bool]:
+    """Evaluate the paper's key qualitative conclusions under perturbation.
+
+    Returns a dict of conclusion -> still-holds booleans:
+
+    * ``cpu_bottleneck_64b``: all three applications CPU-bound at 64 B;
+    * ``nic_limited_abilene``: forwarding/routing NIC-limited on Abilene;
+    * ``app_ordering``: forwarding > routing > IPsec at 64 B;
+    * ``routing_memory_bound_next_gen``: the Sec. 5.3 crossover.
+    """
+    apps = {name: perturbed_app(app, cpu_factor, mem_factor, io_factor)
+            for name, app in cal.APPLICATIONS.items()}
+    results_64 = {name: max_loss_free_rate(app, 64, spec=NEHALEM)
+                  for name, app in apps.items()}
+    abilene = {name: max_loss_free_rate(app, cal.ABILENE_MEAN_PACKET_BYTES,
+                                        spec=NEHALEM)
+               for name, app in apps.items()}
+    next_gen_routing = max_loss_free_rate(apps["routing"], 64,
+                                          spec=NEHALEM_NEXT_GEN,
+                                          nic_limited=False)
+    return {
+        "cpu_bottleneck_64b": all(
+            result.bottleneck == "cpu" for result in results_64.values()),
+        "nic_limited_abilene": all(
+            abilene[name].bottleneck == "nic"
+            for name in ("forwarding", "routing")),
+        "app_ordering": (results_64["forwarding"].rate_bps
+                         > results_64["routing"].rate_bps
+                         > results_64["ipsec"].rate_bps),
+        "routing_memory_bound_next_gen":
+            next_gen_routing.bottleneck == "memory",
+    }
+
+
+def robustness_sweep(factors: List[float] = (0.8, 0.9, 1.0, 1.1, 1.2)) \
+        -> List[dict]:
+    """Perturb each cost axis independently; one row per (axis, factor)."""
+    rows = []
+    for axis in ("cpu", "mem", "io"):
+        for factor in factors:
+            kwargs = {axis + "_factor": factor}
+            conclusions = conclusions_at(**kwargs)
+            row = {"axis": axis, "factor": factor}
+            row.update(conclusions)
+            rows.append(row)
+    return rows
+
+
+def all_conclusions_hold(rows: List[dict]) -> bool:
+    """True if every conclusion survives every perturbation in ``rows``."""
+    keys = ("cpu_bottleneck_64b", "nic_limited_abilene", "app_ordering",
+            "routing_memory_bound_next_gen")
+    return all(all(row[key] for key in keys) for row in rows)

@@ -1,0 +1,81 @@
+"""One-shot reproduction summary: paper vs measured for every headline.
+
+Collects the key number from each experiment runner into a single table
+(the programmatic version of EXPERIMENTS.md's summary), used by the CLI's
+``experiments summary`` and by the narrative integration test.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .experiments import (
+    run_fig8,
+    run_projections,
+    run_rb4_latency,
+    run_rb4_throughput,
+    run_table1,
+)
+from .report import format_table
+
+
+def headline_rows(include_simulation: bool = False) -> List[dict]:
+    """All headline paper-vs-measured pairs.
+
+    ``include_simulation`` adds the DES-based reordering experiment
+    (seconds of runtime rather than milliseconds).
+    """
+    rows = []
+    for row in run_table1()["rows"]:
+        rows.append({
+            "experiment": "T1 batching (kp=%d,kn=%d)" % (row["kp"], row["kn"]),
+            "paper": row["paper_gbps"],
+            "measured": row["rate_gbps"],
+            "unit": "Gbps",
+        })
+    fig8 = run_fig8()
+    for row in fig8["app_rows"]:
+        rows.append({"experiment": "F8 %s 64B" % row["application"],
+                     "paper": row["paper_64b_gbps"],
+                     "measured": row["rate_64b_gbps"], "unit": "Gbps"})
+        rows.append({"experiment": "F8 %s abilene" % row["application"],
+                     "paper": row["paper_abilene_gbps"],
+                     "measured": row["rate_abilene_gbps"], "unit": "Gbps"})
+    for row in run_rb4_throughput()["rows"]:
+        rows.append({"experiment": "RB4 throughput %s" % row["workload"],
+                     "paper": row["paper_gbps"],
+                     "measured": row["aggregate_gbps"], "unit": "Gbps"})
+    for row in run_rb4_latency()["rows"]:
+        rows.append({"experiment": "RB4 latency: %s" % row["metric"],
+                     "paper": row["paper_usec"],
+                     "measured": row["measured_usec"], "unit": "usec"})
+    for row in run_projections()["rows"]:
+        rows.append({"experiment": "P1 %s" % row["application"],
+                     "paper": row["paper_gbps"],
+                     "measured": row["projected_gbps"], "unit": "Gbps"})
+    if include_simulation:
+        from .experiments import run_rb4_reordering
+        for row in run_rb4_reordering()["rows"]:
+            rows.append({"experiment": "RB4 reordering (%s)" % row["mode"],
+                         "paper": row["paper_pct"],
+                         "measured": row["reordered_pct"], "unit": "%"})
+    for row in rows:
+        if row["paper"]:
+            row["ratio"] = row["measured"] / row["paper"]
+    return rows
+
+
+def worst_ratio_deviation(rows: List[dict]) -> float:
+    """Largest |measured/paper - 1| over rows that have a ratio."""
+    deviations = [abs(row["ratio"] - 1.0) for row in rows if "ratio" in row]
+    if not deviations:
+        raise ValueError("no comparable rows")
+    return max(deviations)
+
+
+def summary_text(include_simulation: bool = False) -> str:
+    """The rendered summary table."""
+    rows = headline_rows(include_simulation)
+    return format_table(rows, ["experiment", "paper", "measured", "unit",
+                               "ratio"],
+                        title="RouteBricks reproduction: paper vs measured")

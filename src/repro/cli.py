@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiments``  list experiment ids, or run one/all and print the tables
+``plan``         size a cluster for N external ports (Fig. 3 as a tool)
+``server``       single-server saturation for an app / packet size
+``rb4``          the 4-node cluster's operating points
+``trace``        generate or inspect pcap traces of the synthetic workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import calibration as cal
+from .analysis import EXPERIMENTS, format_table, run_experiment
+
+
+def _cmd_experiments(args) -> int:
+    if args.which == "list":
+        for eid in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[eid].__doc__ or "").strip().splitlines()[0]
+            print("%-6s %s" % (eid, doc))
+        return 0
+    if args.which == "summary":
+        from .analysis.summary import summary_text
+        print(summary_text())
+        return 0
+    targets = sorted(EXPERIMENTS) if args.which == "all" else [args.which]
+    for eid in targets:
+        result = run_experiment(eid)
+        print("=== %s ===" % eid)
+        _print_result(result)
+        print()
+    return 0
+
+
+def _print_result(result: dict) -> None:
+    for key, value in result.items():
+        if key == "id":
+            continue
+        if isinstance(value, list) and value and isinstance(value[0], dict):
+            print(format_table(value, title=key))
+        elif isinstance(value, dict) and value and \
+                isinstance(next(iter(value.values())), list):
+            for sub, rows in value.items():
+                print(format_table(rows, title="%s/%s" % (key, sub)))
+        else:
+            print("%s: %r" % (key, value))
+
+
+def _cmd_plan(args) -> int:
+    from .core.provision import SERVER_MODELS, cost_usd, provision
+    from .core.topology import FullMesh, switched_cluster_equivalent_servers
+
+    rows = []
+    for name in sorted(SERVER_MODELS):
+        topo = provision(args.ports, name)
+        rows.append({
+            "model": name,
+            "topology": type(topo).__name__,
+            "servers": topo.total_servers(),
+            "cost_usd": cost_usd(topo.total_servers()),
+            "mesh_link_gbps": ("%.2f" % (topo.internal_link_rate_bps(10e9) / 1e9)
+                               if isinstance(topo, FullMesh) else "-"),
+        })
+    rows.append({"model": "switched (Clos)", "topology": "reference",
+                 "servers": switched_cluster_equivalent_servers(args.ports),
+                 "cost_usd": cost_usd(
+                     switched_cluster_equivalent_servers(args.ports)),
+                 "mesh_link_gbps": "-"})
+    print(format_table(rows, title="Cluster plan for N=%d ports, 10 Gbps each"
+                       % args.ports))
+    return 0
+
+
+def _cmd_server(args) -> int:
+    from .hw.presets import NEHALEM, NEHALEM_NEXT_GEN, XEON_SHARED_BUS
+    from .perfmodel import max_loss_free_rate
+
+    specs = {"nehalem": NEHALEM, "next-gen": NEHALEM_NEXT_GEN,
+             "xeon": XEON_SHARED_BUS}
+    spec = specs[args.spec]
+    app = cal.APPLICATIONS[args.app]
+    result = max_loss_free_rate(app, args.size, spec=spec,
+                                nic_limited=not args.no_nic_limit)
+    print("%s @ %dB on %s:" % (args.app, args.size, spec.name))
+    print("  max loss-free rate: %.2f Gbps (%.2f Mpps)"
+          % (result.rate_gbps, result.rate_mpps))
+    print("  bottleneck: %s" % result.bottleneck)
+    print("  per-packet: %.0f cycles, %.0f B memory, %.0f B io"
+          % (result.loads.cpu_cycles, result.loads.mem_bytes,
+             result.loads.io_bytes))
+    return 0
+
+
+def _cmd_rb4(args) -> int:
+    from .core import RouteBricksRouter
+    from .core.latency import latency_range_usec
+
+    router = RouteBricksRouter(num_nodes=args.nodes)
+    rows = []
+    for label, size in (("64B", 64),
+                        ("abilene", cal.ABILENE_MEAN_PACKET_BYTES)):
+        result = router.max_throughput(size)
+        rows.append({"workload": label,
+                     "aggregate_gbps": result.aggregate_gbps,
+                     "per_port_gbps": result.per_port_bps / 1e9,
+                     "binding": result.binding})
+    print(format_table(rows, title="%d-node RouteBricks cluster"
+                       % args.nodes))
+    direct, indirect = latency_range_usec()
+    print("latency: %.1f us direct, %.1f us via an intermediate"
+          % (direct, indirect))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .analysis.validation import max_relative_error, validate_forwarding
+
+    points = validate_forwarding()
+    rows = [{"kp": p.kp, "kn": p.kn, "bytes": p.packet_bytes,
+             "analytic_gbps": p.analytic_gbps,
+             "simulated_gbps": p.simulated_gbps,
+             "rel_error": p.relative_error} for p in points]
+    print(format_table(rows, ["kp", "kn", "bytes", "analytic_gbps",
+                              "simulated_gbps", "rel_error"],
+                       title="Analytic model vs timed simulation"))
+    worst = max_relative_error(points)
+    print("worst disagreement: %.1f%%" % (worst * 100))
+    return 0 if worst < 0.15 else 1
+
+
+def _cmd_power(args) -> int:
+    from .core.power import cluster_power_kw, managed_power
+
+    app = cal.APPLICATIONS[args.app]
+    rows = []
+    for fraction in (0.25, 0.5, 0.75, 1.0):
+        estimate = managed_power(app, offered_fraction=fraction)
+        rows.append({"load_fraction": fraction,
+                     "per_server_w": estimate.managed_w,
+                     "cluster_kw": cluster_power_kw(
+                         args.servers, app, offered_fraction=fraction),
+                     "savings_pct": estimate.savings_fraction * 100})
+    print(format_table(rows, ["load_fraction", "per_server_w",
+                              "cluster_kw", "savings_pct"],
+                       title="%d-server cluster power (%s, managed modes)"
+                       % (args.servers, args.app)))
+    print("unmanaged: %.2f kW" % cluster_power_kw(args.servers, app,
+                                                  managed=False))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .workloads.abilene import AbileneTrace
+    from .workloads.pcapio import save_trace
+
+    if args.action == "generate":
+        trace = AbileneTrace(seed=args.seed)
+        count = save_trace(args.path,
+                           trace.timed_packets(args.packets,
+                                               rate_bps=args.gbps * 1e9))
+        print("wrote %d packets to %s" % (count, args.path))
+        return 0
+    from .analysis.trace_report import characterize_pcap
+    report = characterize_pcap(args.path)
+    print("%s: %d packets, mean size %.1f B, duration %.3f s"
+          % (args.path, report.packets, report.mean_bytes,
+             report.duration_sec))
+    if report.duration_sec > 0:
+        print("average rate: %.2f Gbps" % (report.rate_bps / 1e9))
+    if args.detail:
+        print("flows: %d (mean %.1f packets/flow)"
+              % (report.flow_count, report.mean_flow_packets))
+        if report.packets > 2:
+            print("burstiness (gap CV): %.2f" % report.burstiness())
+        shares = report.size_shares()
+        if len(shares) <= 8:
+            for size, share in shares.items():
+                print("  %5d B  %5.1f%%" % (size, share * 100))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RouteBricks reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiments", help="run paper experiments")
+    p.add_argument("which", nargs="?", default="list",
+                   help="'list', 'summary', 'all', or an experiment id "
+                        "(e.g. T1, F8)")
+    p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser("plan", help="size a cluster for N ports")
+    p.add_argument("ports", type=int)
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser("server", help="single-server saturation")
+    p.add_argument("--app", choices=sorted(cal.APPLICATIONS),
+                   default="forwarding")
+    p.add_argument("--size", type=int, default=64)
+    p.add_argument("--spec", choices=["nehalem", "next-gen", "xeon"],
+                   default="nehalem")
+    p.add_argument("--no-nic-limit", action="store_true")
+    p.set_defaults(func=_cmd_server)
+
+    p = sub.add_parser("rb4", help="cluster operating points")
+    p.add_argument("--nodes", type=int, default=4)
+    p.set_defaults(func=_cmd_rb4)
+
+    p = sub.add_parser("validate", help="analytic model vs timed DES")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("power", help="power estimates with managed modes")
+    p.add_argument("--app", choices=sorted(cal.APPLICATIONS),
+                   default="forwarding")
+    p.add_argument("--servers", type=int, default=4)
+    p.set_defaults(func=_cmd_power)
+
+    p = sub.add_parser("trace", help="generate/inspect pcap traces")
+    p.add_argument("action", choices=["generate", "info"])
+    p.add_argument("path")
+    p.add_argument("--packets", type=int, default=10_000)
+    p.add_argument("--gbps", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--detail", action="store_true",
+                   help="flow/burstiness/size breakdown for 'info'")
+    p.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""A Click-like modular dataplane.
+
+The paper's router software is Click in polling mode (Sec. 4.1); the
+RouteBricks changes preserve Click's programming model while adding
+multi-queue device elements and batching (Sec. 4.2, 8).  This package
+reproduces that model: elements with push ports composed into a router
+graph, device elements bound to NIC queues, and a scheduler that
+statically assigns tasks to cores and enforces the two RouteBricks rules
+(one core per queue, one core per packet).
+"""
+
+from .element import Element, PushPort
+from .graph import RouterGraph
+from .scheduler import CoreThread, Scheduler
+from .elements.standard import (
+    Classifier,
+    CounterElement,
+    Discard,
+    PacketQueue,
+    Tee,
+)
+from .elements.device import PollDevice, ToDevice
+from .elements.ip import CheckIPHeader, DecIPTTL, EtherEncap, LookupIPRoute
+from .elements.ipsec import IPsecESPEncap
+from .elements.loadbalance import FlowHashSwitch, RoundRobinSwitch
+
+__all__ = [
+    "Element",
+    "PushPort",
+    "RouterGraph",
+    "CoreThread",
+    "Scheduler",
+    "Classifier",
+    "CounterElement",
+    "Discard",
+    "PacketQueue",
+    "Tee",
+    "PollDevice",
+    "ToDevice",
+    "CheckIPHeader",
+    "DecIPTTL",
+    "EtherEncap",
+    "LookupIPRoute",
+    "IPsecESPEncap",
+    "FlowHashSwitch",
+    "RoundRobinSwitch",
+]

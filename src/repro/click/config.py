@@ -1,0 +1,265 @@
+"""A parser for the Click configuration language (the subset RB4 uses).
+
+Click routers are declared in a small language of element declarations and
+connections::
+
+    src :: PollDevice(0, QUEUE 0, BURST 32);
+    check :: CheckIPHeader();
+    ttl :: DecIPTTL;
+    src -> check -> ttl -> [0] rt;
+    rt [1] -> Discard;
+
+This module parses that language into a :class:`RouterGraph`, resolving
+element classes through a registry.  Supported syntax:
+
+* ``name :: Class(args...)`` declarations (args are comma-separated
+  tokens handed to the class's registered factory);
+* anonymous elements in connection position: ``... -> Discard -> ...``;
+* chains ``a -> b -> c`` with optional port selectors ``a [1] -> [0] b``;
+* ``//`` and ``/* */`` comments; semicolon-terminated statements.
+
+The registry maps Click class names to factories; the built-in registry
+covers this package's element library, and callers may register more.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .element import Element
+from .graph import RouterGraph
+
+_TOKEN_RE = re.compile(r"""
+    (?P<arrow>->)
+  | (?P<dcolon>::)
+  | (?P<port>\[\s*\d+\s*\])
+  | (?P<semi>;)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>"[^"]*")
+  | (?P<space>\s+)
+""", re.VERBOSE)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", " ", text)
+
+
+def tokenize(text: str) -> List[Tuple[str, str]]:
+    """Tokenize a Click config; raises on unrecognized input."""
+    tokens = []
+    position = 0
+    text = _strip_comments(text)
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ConfigurationError(
+                "unrecognized input at %r" % text[position:position + 20])
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "space":
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+class ElementRegistry:
+    """Maps Click class names to element factories.
+
+    A factory receives the parsed argument strings and the instance name
+    and returns an :class:`Element`.
+    """
+
+    def __init__(self):
+        self._factories: Dict[str, Callable[..., Element]] = {}
+
+    def register(self, class_name: str,
+                 factory: Callable[..., Element]) -> None:
+        if class_name in self._factories:
+            raise ConfigurationError("class %r already registered"
+                                     % class_name)
+        self._factories[class_name] = factory
+
+    def create(self, class_name: str, args: List[str],
+               name: str) -> Element:
+        if class_name not in self._factories:
+            raise ConfigurationError("unknown element class %r (have %s)"
+                                     % (class_name,
+                                        sorted(self._factories)))
+        return self._factories[class_name](args, name)
+
+    def __contains__(self, class_name: str) -> bool:
+        return class_name in self._factories
+
+
+def default_registry() -> ElementRegistry:
+    """The built-in element classes (those needing no external state)."""
+    from .elements.standard import (
+        Classifier, CounterElement, Discard, Meter, PacketQueue, Paint,
+        RandomSample, SetTTL, SourceFilter, Tee,
+    )
+    from .elements.loadbalance import FlowHashSwitch, RoundRobinSwitch
+
+    registry = ElementRegistry()
+    from .elements.queue_policies import DropFrontQueue, RedQueue
+
+    registry.register("RedQueue", lambda args, name: RedQueue(
+        capacity=int(args[0]) if args else 1000, name=name))
+    registry.register("DropFrontQueue", lambda args, name: DropFrontQueue(
+        capacity=int(args[0]) if args else 1000, name=name))
+    registry.register("SetTTL", lambda args, name: SetTTL(
+        ttl=int(args[0]), name=name))
+    registry.register("SourceFilter", lambda args, name: SourceFilter(
+        prefix=args[0].replace(" ", ""), name=name))
+    registry.register("Discard", lambda args, name: Discard(name=name))
+    registry.register("Counter",
+                      lambda args, name: CounterElement(name=name))
+    registry.register("Queue", lambda args, name: PacketQueue(
+        capacity=int(args[0]) if args else 1000, name=name))
+    registry.register("Tee", lambda args, name: Tee(
+        n=int(args[0]) if args else 2, name=name))
+    registry.register("Paint", lambda args, name: Paint(
+        color=int(args[0]), name=name))
+    registry.register("RandomSample", lambda args, name: RandomSample(
+        p=float(args[0]), name=name))
+    registry.register("Meter", lambda args, name: Meter(
+        rate_pps=float(args[0]), name=name))
+    registry.register("RoundRobinSwitch",
+                      lambda args, name: RoundRobinSwitch(
+                          n=int(args[0]) if args else 2, name=name))
+    registry.register("FlowHashSwitch",
+                      lambda args, name: FlowHashSwitch(
+                          n=int(args[0]) if args else 2, name=name))
+    return registry
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]],
+                 registry: ElementRegistry):
+        self.tokens = tokens
+        self.position = 0
+        self.registry = registry
+        self.graph = RouterGraph()
+        self._anon_counter = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[Tuple[str, str]]:
+        index = self.position + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _take(self, kind: Optional[str] = None) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise ConfigurationError("unexpected end of configuration")
+        if kind is not None and token[0] != kind:
+            raise ConfigurationError("expected %s, found %r"
+                                     % (kind, token[1]))
+        self.position += 1
+        return token
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> RouterGraph:
+        while self._peek() is not None:
+            self._statement()
+        return self.graph
+
+    def _statement(self) -> None:
+        if self._peek()[0] == "semi":
+            self._take()
+            return
+        # Declaration: word :: word ( args ) ;
+        if (self._peek()[0] == "word" and self._peek(1) is not None
+                and self._peek(1)[0] == "dcolon"):
+            self._declaration()
+            return
+        self._connection()
+
+    def _declaration(self) -> None:
+        name = self._take("word")[1]
+        self._take("dcolon")
+        class_name = self._take("word")[1]
+        args = self._maybe_args()
+        element = self.registry.create(class_name, args, name)
+        if element.name != name:
+            raise ConfigurationError(
+                "factory for %s ignored the instance name" % class_name)
+        self.graph.add(element)
+        self._take("semi")
+
+    def _maybe_args(self) -> List[str]:
+        if self._peek() is None or self._peek()[0] != "lparen":
+            return []
+        self._take("lparen")
+        args = []
+        current: List[str] = []
+        while True:
+            kind, value = self._take()
+            if kind == "rparen":
+                break
+            if kind == "comma":
+                args.append(" ".join(current))
+                current = []
+            else:
+                current.append(value.strip('"'))
+        if current:
+            args.append(" ".join(current))
+        return args
+
+    def _element_ref(self) -> Element:
+        """A connection endpoint: a declared name or an anonymous class."""
+        name = self._take("word")[1]
+        if name in self.graph:
+            # Declared instance; anonymous use of a class name that
+            # collides with an instance name resolves to the instance.
+            return self.graph[name]
+        if name in self.registry:
+            args = self._maybe_args()
+            self._anon_counter += 1
+            anon_name = "%s@%d" % (name, self._anon_counter)
+            element = self.registry.create(name, args, anon_name)
+            self.graph.add(element)
+            return element
+        raise ConfigurationError("undeclared element %r" % name)
+
+    @staticmethod
+    def _port_number(token: Tuple[str, str]) -> int:
+        return int(token[1].strip("[] \t"))
+
+    def _connection(self) -> None:
+        source = self._element_ref()
+        while True:
+            out_port = 0
+            if self._peek() is not None and self._peek()[0] == "port":
+                out_port = self._port_number(self._take("port"))
+            self._take("arrow")
+            in_port = 0
+            if self._peek() is not None and self._peek()[0] == "port":
+                in_port = self._port_number(self._take("port"))
+            target = self._element_ref()
+            source.output(out_port).connect(target, in_port)
+            source = target
+            token = self._peek()
+            if token is None or token[0] == "semi":
+                if token is not None:
+                    self._take("semi")
+                return
+
+
+def parse_config(text: str,
+                 registry: Optional[ElementRegistry] = None,
+                 validate: bool = True) -> RouterGraph:
+    """Parse a Click configuration into a wired :class:`RouterGraph`."""
+    registry = registry or default_registry()
+    parser = _Parser(tokenize(text), registry)
+    graph = parser.parse()
+    if validate:
+        graph.validate()
+    return graph

@@ -1,0 +1,95 @@
+"""Element base class and ports.
+
+Click composes routers from small elements connected through ports.  This
+reproduction keeps the push discipline (upstream calls downstream) that
+Click uses on the forwarding path, plus per-element packet counters and a
+``cycle_cost`` hook so the scheduler can charge CPU time for the work an
+element represents.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..net.packet import Packet
+
+
+class PushPort:
+    """An output port: a one-to-one connection to a downstream element."""
+
+    def __init__(self, owner: "Element", index: int):
+        self.owner = owner
+        self.index = index
+        self.peer: Optional[Element] = None
+        self.peer_port: int = 0
+
+    def connect(self, peer: "Element", peer_port: int = 0) -> None:
+        if self.peer is not None:
+            raise ConfigurationError(
+                "%s output %d already connected" % (self.owner.name, self.index))
+        self.peer = peer
+        self.peer_port = peer_port
+
+    def push(self, packet: Packet) -> None:
+        if self.peer is None:
+            raise ConfigurationError(
+                "%s output %d is dangling" % (self.owner.name, self.index))
+        self.peer.receive(packet, self.peer_port)
+
+
+class Element:
+    """Base class for all dataplane elements.
+
+    Subclasses implement :meth:`process`, which receives a packet and an
+    input-port index and pushes results downstream via ``self.output(i)``.
+    Returning without pushing drops the packet.
+    """
+
+    #: Number of output ports; subclasses override as needed.
+    n_outputs = 1
+
+    def __init__(self, name: str = ""):
+        self.name = name or self.__class__.__name__
+        self._outputs = [PushPort(self, i) for i in range(self.n_outputs)]
+        self.packets_in = 0
+        self.packets_out = 0
+        self.packets_dropped = 0
+
+    def output(self, index: int = 0) -> PushPort:
+        if not 0 <= index < len(self._outputs):
+            raise ConfigurationError(
+                "%s has no output %d" % (self.name, index))
+        return self._outputs[index]
+
+    def connect_to(self, peer: "Element", output: int = 0,
+                   peer_port: int = 0) -> "Element":
+        """Wire ``self[output] -> peer[peer_port]``; returns ``peer`` so
+        chains read left to right."""
+        self.output(output).connect(peer, peer_port)
+        return peer
+
+    def receive(self, packet: Packet, port: int = 0) -> None:
+        """Entry point called by upstream elements."""
+        self.packets_in += 1
+        self.process(packet, port)
+
+    def push(self, packet: Packet, output: int = 0) -> None:
+        """Push a packet downstream (used inside :meth:`process`)."""
+        self.packets_out += 1
+        self.output(output).push(packet)
+
+    def drop(self, packet: Packet) -> None:
+        """Account a deliberate drop."""
+        self.packets_dropped += 1
+
+    def process(self, packet: Packet, port: int) -> None:
+        raise NotImplementedError
+
+    def cycle_cost(self, packet: Packet) -> float:
+        """CPU cycles this element's work costs for ``packet`` (default 0;
+        device and application elements override)."""
+        return 0.0
+
+    def __repr__(self):
+        return "<%s %r>" % (self.__class__.__name__, self.name)

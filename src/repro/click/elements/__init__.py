@@ -1,0 +1,1 @@
+"""Element library: standard, device, IP, IPsec, and load-balance elements."""

@@ -1,0 +1,122 @@
+"""The two RouteBricks Click elements (Sec. 8).
+
+"Beyond our 10G NIC driver, the RB4 implementation required us to write
+only two new Click elements" -- the cluster's data plane is ordinary Click
+plus these:
+
+* :class:`VLBIngress` -- runs at a node's external port: looks up the
+  output node (routing-table port = cluster node id), encodes it into the
+  destination MAC (Sec. 6.1), and picks the first hop with adaptive
+  Direct VLB + flowlet pinning.  Output ``i`` leads toward cluster node
+  ``i``; output ``self_node`` is the local egress path.
+* :class:`VLBTransit` -- runs at internal ports: reads the output node
+  from the receive queue's MAC (no IP processing) and forwards toward it,
+  or delivers locally.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ... import calibration as cal
+from ...core.flowlet import FlowletTable
+from ...core.mac_encoding import decode_output_node, encode_output_node
+from ...errors import ConfigurationError
+from ...net.packet import Packet
+from ...routing.table import RoutingTable
+from ..element import Element
+
+
+class VLBIngress(Element):
+    """External-port ingress: route, encode, and load-balance."""
+
+    def __init__(self, table: RoutingTable, self_node: int, num_nodes: int,
+                 link_available: Optional[Callable[[int], bool]] = None,
+                 use_flowlets: bool = True, seed: int = 0, name: str = ""):
+        if num_nodes < 2:
+            raise ConfigurationError("cluster needs >= 2 nodes")
+        if not 0 <= self_node < num_nodes:
+            raise ConfigurationError("self_node out of range")
+        self.n_outputs = num_nodes + 1  # one per node + routing-miss port
+        super().__init__(name or "VLBIngress(n%d)" % self_node)
+        self.table = table
+        self.self_node = self_node
+        self.num_nodes = num_nodes
+        self.link_available = link_available or (lambda node: True)
+        self.flowlets = FlowletTable() if use_flowlets else None
+        self.rng = random.Random(seed)
+        self.now = 0.0  # advanced by the caller (simulation clock)
+        self.routed = 0
+        self.misses = 0
+
+    def _fresh_path(self, egress: int) -> int:
+        if self.link_available(egress):
+            return egress
+        candidates = [i for i in range(self.num_nodes)
+                      if i not in (self.self_node, egress)
+                      and self.link_available(i)]
+        if not candidates:
+            return egress
+        return candidates[self.rng.randrange(len(candidates))]
+
+    def process(self, packet: Packet, port: int) -> None:
+        route = self.table.lookup(packet.ip.dst) if packet.ip else None
+        if route is None or route.port >= self.num_nodes:
+            self.misses += 1
+            self.push(packet, self.num_nodes)
+            return
+        egress = route.port
+        encode_output_node(packet, egress, max_nodes=self.num_nodes)
+        self.routed += 1
+        if egress == self.self_node:
+            self.push(packet, self.self_node)
+            return
+        if self.flowlets is not None:
+            first_hop = self.flowlets.assign(
+                (packet.five_tuple(), egress), self.now,
+                path_available=lambda p: p != self.self_node
+                and self.link_available(p),
+                fresh_path=lambda: self._fresh_path(egress))
+        else:
+            first_hop = self._fresh_path(egress)
+        self.push(packet, first_hop)
+
+    def cycle_cost(self, packet: Packet) -> float:
+        """Routing lookup + header work + reordering-avoidance tracking."""
+        cost = (cal.IP_ROUTING.cpu_base_cycles
+                - cal.MINIMAL_FORWARDING.cpu_base_cycles)
+        if self.flowlets is not None:
+            cost += cal.REORDER_AVOIDANCE_CYCLES
+        return cost
+
+
+class VLBTransit(Element):
+    """Internal-port forwarding: steer by the MAC-encoded output node."""
+
+    def __init__(self, self_node: int, num_nodes: int, name: str = ""):
+        if num_nodes < 2:
+            raise ConfigurationError("cluster needs >= 2 nodes")
+        if not 0 <= self_node < num_nodes:
+            raise ConfigurationError("self_node out of range")
+        self.n_outputs = num_nodes  # one per node; self = local egress
+        super().__init__(name or "VLBTransit(n%d)" % self_node)
+        self.self_node = self_node
+        self.num_nodes = num_nodes
+        self.delivered = 0
+        self.forwarded = 0
+
+    def process(self, packet: Packet, port: int) -> None:
+        output = decode_output_node(packet)
+        if output >= self.num_nodes:
+            self.drop(packet)
+            return
+        if output == self.self_node:
+            self.delivered += 1
+        else:
+            self.forwarded += 1
+        self.push(packet, output)
+
+    def cycle_cost(self, packet: Packet) -> float:
+        """Queue-to-queue move only: no header processing (Sec. 6.1)."""
+        return 0.0

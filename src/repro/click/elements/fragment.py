@@ -1,0 +1,58 @@
+"""The IPFragmenter element: egress-MTU enforcement.
+
+Packets larger than the egress MTU are fragmented (RFC 791); DF-marked
+oversized packets become ICMP Fragmentation Needed errors on output 1
+(path-MTU discovery's signal).
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError, PacketError
+from ...net.addresses import IPv4Address
+from ...net.fragment import FLAG_DF, fragment_packet
+from ...net.icmp import fragmentation_needed
+from ...net.packet import Packet
+from ..element import Element
+
+
+class IPFragmenter(Element):
+    """Fragment oversized packets; DF violations exit output 1 as ICMP."""
+
+    n_outputs = 2
+    optional_outputs = {1}
+
+    def __init__(self, mtu: int, router_address: IPv4Address = None,
+                 name: str = ""):
+        if mtu < 68:
+            raise ConfigurationError("IPv4 requires MTU >= 68")
+        super().__init__(name)
+        self.mtu = mtu
+        self.router_address = router_address or IPv4Address("192.88.99.1")
+        self.fragmented_packets = 0
+        self.fragments_out = 0
+        self.df_rejections = 0
+
+    def process(self, packet: Packet, port: int) -> None:
+        if packet.ip is None:
+            self.drop(packet)
+            return
+        if packet.ip.total_length <= self.mtu:
+            self.push(packet, 0)
+            return
+        if packet.ip.flags & FLAG_DF:
+            self.df_rejections += 1
+            error = fragmentation_needed(packet, self.router_address)
+            if self.output(1).peer is not None:
+                self.push(error, 1)
+            else:
+                self.drop(packet)
+            return
+        try:
+            fragments = fragment_packet(packet, self.mtu)
+        except PacketError:
+            self.drop(packet)
+            return
+        self.fragmented_packets += 1
+        self.fragments_out += len(fragments)
+        for fragment in fragments:
+            self.push(fragment, 0)

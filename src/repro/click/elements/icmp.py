@@ -1,0 +1,65 @@
+"""ICMP error-generation elements.
+
+Wired to DecIPTTL's expiry port and LookupIPRoute's miss port, these turn
+dropped packets into the ICMP errors a production router must emit.  Rate
+limiting follows standard practice (a router must not amplify a packet
+flood into an ICMP flood).
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from ...net.addresses import IPv4Address
+from ...net.icmp import destination_unreachable, time_exceeded
+from ...net.packet import Packet
+from ..element import Element
+
+
+class IcmpErrorGenerator(Element):
+    """Emit an ICMP error per offending packet, token-bucket limited.
+
+    ``kind`` selects Time Exceeded (for TTL expiry) or Destination
+    Unreachable (for routing misses).  The token bucket refills
+    ``rate_pps`` tokens per second of *element-observed* time, which the
+    caller advances via :attr:`now` (simulation clock).
+    """
+
+    def __init__(self, router_address: IPv4Address, kind: str,
+                 rate_pps: float = 1000.0, burst: int = 10, name: str = ""):
+        if kind not in ("time-exceeded", "unreachable"):
+            raise ConfigurationError("kind must be time-exceeded|unreachable")
+        if rate_pps <= 0 or burst < 1:
+            raise ConfigurationError("bad rate limit")
+        super().__init__(name or "IcmpErrorGenerator(%s)" % kind)
+        self.router_address = router_address
+        self.kind = kind
+        self.rate_pps = rate_pps
+        self.burst = burst
+        self.now = 0.0
+        self._tokens = float(burst)
+        self._last_refill = 0.0
+        self.generated = 0
+        self.suppressed = 0
+
+    def _take_token(self) -> bool:
+        elapsed = self.now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens
+                               + elapsed * self.rate_pps)
+            self._last_refill = self.now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def process(self, packet: Packet, port: int) -> None:
+        if packet.ip is None or not self._take_token():
+            self.suppressed += 1
+            self.drop(packet)
+            return
+        if self.kind == "time-exceeded":
+            error = time_exceeded(packet, self.router_address)
+        else:
+            error = destination_unreachable(packet, self.router_address)
+        self.generated += 1
+        self.push(error)

@@ -1,0 +1,56 @@
+"""ESP decapsulation element: the receiving side of the VPN gateway."""
+
+from __future__ import annotations
+
+from ...crypto.esp import EspContext, esp_decapsulate
+from ...errors import CryptoError
+from ...net.headers import PROTO_ESP
+from ...net.packet import Packet
+from ..element import Element
+
+
+class IPsecESPDecap(Element):
+    """Decrypt ESP packets; non-ESP and failed packets go to output 1.
+
+    Enforces a simple anti-replay window: sequence numbers at or below the
+    highest seen minus ``replay_window`` are rejected (RFC 4303's check,
+    without the bitmap -- adequate for the simulation's in-order SAs).
+    """
+
+    n_outputs = 2
+    optional_outputs = {1}
+
+    def __init__(self, context: EspContext, replay_window: int = 64,
+                 name: str = ""):
+        super().__init__(name)
+        self.context = context
+        self.replay_window = replay_window
+        self.decrypted = 0
+        self.failed = 0
+        self.replayed = 0
+        self._highest_seq = 0
+
+    def _fail(self, packet: Packet) -> None:
+        self.failed += 1
+        if self.output(1).peer is not None:
+            self.push(packet, 1)
+        else:
+            self.drop(packet)
+
+    def process(self, packet: Packet, port: int) -> None:
+        if packet.ip is None or packet.ip.proto != PROTO_ESP:
+            self._fail(packet)
+            return
+        try:
+            inner = esp_decapsulate(self.context, packet)
+        except CryptoError:
+            self._fail(packet)
+            return
+        seq = inner.annotations.get("esp_seq", 0)
+        if seq + self.replay_window <= self._highest_seq:
+            self.replayed += 1
+            self._fail(packet)
+            return
+        self._highest_seq = max(self._highest_seq, seq)
+        self.decrypted += 1
+        self.push(inner, 0)

@@ -1,0 +1,47 @@
+"""Load-spreading elements: round-robin and flow-hash switches."""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from ...net.flows import queue_for_flow
+from ...net.packet import Packet
+from ..element import Element
+
+
+class RoundRobinSwitch(Element):
+    """Spread packets across outputs round-robin (per-packet balancing).
+
+    This is the classic-VLB spreading discipline; it reorders flows and is
+    what the flowlet switcher (repro.core.flowlet) improves on.
+    """
+
+    def __init__(self, n: int, name: str = ""):
+        if n < 1:
+            raise ConfigurationError("switch needs >= 1 output")
+        self.n_outputs = n
+        super().__init__(name)
+        self._next = 0
+
+    def process(self, packet: Packet, port: int) -> None:
+        self.push(packet, self._next)
+        self._next = (self._next + 1) % self.n_outputs
+
+
+class FlowHashSwitch(Element):
+    """Pin each flow to one output by hashing its five-tuple.
+
+    Keeps flows in order (same path for every packet of a flow) at the
+    cost of balancing granularity.
+    """
+
+    def __init__(self, n: int, name: str = ""):
+        if n < 1:
+            raise ConfigurationError("switch needs >= 1 output")
+        self.n_outputs = n
+        super().__init__(name)
+
+    def process(self, packet: Packet, port: int) -> None:
+        if packet.ip is None:
+            self.push(packet, packet.packet_id % self.n_outputs)
+            return
+        self.push(packet, queue_for_flow(packet.five_tuple(), self.n_outputs))

@@ -1,0 +1,74 @@
+"""Router configuration graph: wiring validation and statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..errors import ConfigurationError
+from .element import Element
+
+
+class RouterGraph:
+    """A named collection of connected elements.
+
+    Mirrors a Click configuration file: elements are declared, wired, and
+    validated (no dangling mandatory outputs, no duplicate names) before
+    the router runs.
+    """
+
+    def __init__(self):
+        self._elements: Dict[str, Element] = {}
+
+    def add(self, element: Element) -> Element:
+        """Register an element; names must be unique."""
+        if element.name in self._elements:
+            raise ConfigurationError("duplicate element name %r" % element.name)
+        self._elements[element.name] = element
+        return element
+
+    def add_all(self, elements: Iterable[Element]) -> None:
+        for element in elements:
+            self.add(element)
+
+    def __getitem__(self, name: str) -> Element:
+        if name not in self._elements:
+            raise ConfigurationError("no element named %r" % name)
+        return self._elements[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def elements(self) -> List[Element]:
+        return list(self._elements.values())
+
+    def validate(self) -> None:
+        """Check that every mandatory output is connected.
+
+        Elements may declare a set of ``optional_outputs`` (e.g.
+        DecIPTTL's time-exceeded port) that are allowed to dangle.
+        """
+        problems = []
+        for element in self._elements.values():
+            optional = getattr(element, "optional_outputs", set())
+            for index in range(element.n_outputs):
+                if index in optional:
+                    continue
+                if element.output(index).peer is None:
+                    problems.append("%s output %d is dangling"
+                                    % (element.name, index))
+        if problems:
+            raise ConfigurationError("; ".join(problems))
+
+    def stats(self) -> Dict[str, dict]:
+        """Per-element packet counters."""
+        return {
+            name: {
+                "in": el.packets_in,
+                "out": el.packets_out,
+                "dropped": el.packets_dropped,
+            }
+            for name, el in self._elements.items()
+        }

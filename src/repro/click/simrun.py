@@ -1,0 +1,180 @@
+"""Timed single-server forwarding runs.
+
+Drives a server's cores in *simulated time*: each core repeatedly polls
+its RX queue, pays the calibrated per-packet (or empty-poll) cycle cost,
+and advances its own clock accordingly.  Offered load arrives as timed
+events.  This closes the loop between the analytic model and the DES: at
+offered loads below the model's saturation rate the run is loss-free; at
+higher loads the achieved rate plateaus at the model's prediction and RX
+rings overflow -- exactly how the paper measures the "maximum loss-free
+forwarding rate" (Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+from ..hw.server import Server
+from ..simnet.engine import Simulator
+from ..workloads.synthetic import FixedSizeWorkload
+
+#: Cycles burned by a poll that finds no packets (Sec. 5.3's ce).
+EMPTY_POLL_CYCLES = 120.0
+
+
+@dataclass
+class TimedRunReport:
+    """Outcome of a timed forwarding run."""
+
+    offered_packets: int
+    forwarded_packets: int
+    dropped_packets: int
+    duration_sec: float
+    packet_bytes: int
+    empty_polls: int
+    total_polls: int
+    residual_backlog: int = 0
+
+    @property
+    def achieved_bps(self) -> float:
+        return (self.forwarded_packets * self.packet_bytes * 8
+                / self.duration_sec)
+
+    @property
+    def achieved_gbps(self) -> float:
+        return self.achieved_bps / 1e9
+
+    @property
+    def loss_free(self) -> bool:
+        return self.dropped_packets == 0
+
+    @property
+    def loss_fraction(self) -> float:
+        if not self.offered_packets:
+            return 0.0
+        return self.dropped_packets / self.offered_packets
+
+    def sustainable(self, max_backlog_packets: int) -> bool:
+        """Loss-free *and* not merely buffering the excess in the rings."""
+        return (self.dropped_packets == 0
+                and self.residual_backlog <= max_backlog_packets)
+
+
+class TimedForwardingRun:
+    """Simulate minimal forwarding on one server at an offered load.
+
+    One core per RX queue (the multi-queue discipline); arrivals are
+    spread round-robin across queues, matching the paper's uniform
+    any-to-any pattern.  ``kp``/``kn`` control batching as in Table 1.
+    """
+
+    def __init__(self, server: Server, packet_bytes: int = 64,
+                 kp: int = cal.DEFAULT_KP, kn: int = cal.DEFAULT_KN,
+                 app: cal.AppCost = cal.MINIMAL_FORWARDING):
+        if not server.ports:
+            raise ConfigurationError("server has no ports attached")
+        if kp < 1 or not 1 <= kn <= cal.MAX_NIC_BATCH:
+            raise ConfigurationError("bad batching parameters")
+        self.server = server
+        self.packet_bytes = packet_bytes
+        self.kp = kp
+        self.kn = kn
+        self.app = app
+        self.cycles_per_packet = (app.cpu_cycles(packet_bytes)
+                                  + cal.bookkeeping_cycles(kp, kn))
+        # Pair each core with one RX queue, spreading cores over ports.
+        self._assignments = []
+        cores = server.cores
+        queues = [queue for port in server.ports for queue in port.rx_queues]
+        if len(queues) < len(cores):
+            raise ConfigurationError(
+                "need >= 1 RX queue per core (%d cores, %d queues)"
+                % (len(cores), len(queues)))
+        for index, core in enumerate(cores):
+            self._assignments.append((core, queues[index]))
+
+    def run(self, offered_bps: float, duration_sec: float = 5e-3,
+            seed: int = 0) -> TimedRunReport:
+        """Offer fixed-size packets at ``offered_bps`` for ``duration_sec``."""
+        if offered_bps <= 0 or duration_sec <= 0:
+            raise ConfigurationError("offered load and duration must be > 0")
+        sim = Simulator()
+        workload = FixedSizeWorkload(packet_bytes=self.packet_bytes,
+                                     num_flows=len(self._assignments) * 8,
+                                     seed=seed)
+        interarrival = self.packet_bytes * 8 / offered_bps
+        offered = int(duration_sec / interarrival)
+        packets = workload.packets(offered)
+
+        state = {"forwarded": 0, "empty_polls": 0, "polls": 0}
+        queues = [queue for _, queue in self._assignments]
+        drops_before = sum(queue.dropped for queue in queues)
+        # Clear any residue from a previous run on the same server.
+        for queue in queues:
+            while queue.pop() is not None:
+                pass
+
+        def arrival(index=[0]):
+            try:
+                packet = next(packets)
+            except StopIteration:
+                return
+            queue = queues[index[0] % len(queues)]
+            index[0] += 1
+            queue.push(packet)
+            sim.schedule(interarrival, arrival)
+
+        clock_hz = self.server.spec.clock_hz
+
+        def make_poll_loop(core, queue):
+            def poll():
+                if sim.now >= duration_sec:
+                    return
+                state["polls"] += 1
+                batch = queue.pop_batch(self.kp)
+                if batch:
+                    cycles = len(batch) * self.cycles_per_packet
+                    state["forwarded"] += len(batch)
+                else:
+                    state["empty_polls"] += 1
+                    cycles = EMPTY_POLL_CYCLES
+                core.charge(cycles)
+                sim.schedule(cycles / clock_hz, poll)
+            return poll
+
+        sim.schedule(0.0, arrival)
+        for core, queue in self._assignments:
+            sim.schedule(0.0, make_poll_loop(core, queue))
+        sim.run(until=duration_sec)
+
+        dropped = sum(queue.dropped for queue in queues) - drops_before
+        return TimedRunReport(
+            offered_packets=offered,
+            forwarded_packets=state["forwarded"],
+            dropped_packets=dropped,
+            duration_sec=duration_sec,
+            packet_bytes=self.packet_bytes,
+            empty_polls=state["empty_polls"],
+            total_polls=state["polls"],
+            residual_backlog=sum(len(queue) for queue in queues),
+        )
+
+    def find_loss_free_rate(self, low_bps: float = 0.5e9,
+                            high_bps: float = 30e9,
+                            tolerance_bps: float = 0.25e9,
+                            duration_sec: float = 2e-3) -> float:
+        """Binary-search the maximum loss-free rate (the Sec. 5.1 metric)."""
+        if low_bps >= high_bps:
+            raise ConfigurationError("need low < high")
+        # A sustainable run may leave up to ~2 poll batches per queue.
+        max_backlog = 2 * self.kp * len(self._assignments)
+        while high_bps - low_bps > tolerance_bps:
+            mid = (low_bps + high_bps) / 2
+            report = self.run(mid, duration_sec=duration_sec)
+            if report.sustainable(max_backlog):
+                low_bps = mid
+            else:
+                high_bps = mid
+        return low_bps

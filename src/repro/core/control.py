@@ -1,0 +1,171 @@
+"""The cluster control plane: membership and FIB distribution.
+
+The architecture's extensibility claim (Sec. 2) is that ports are added by
+adding servers.  That needs a (thin) control plane: track cluster
+membership, recompute the mesh wiring and port assignments when servers
+join or leave, and keep every node's FIB consistent with the master RIB
+(each node routes packets to *output nodes*, so all nodes must agree on
+the prefix -> node mapping).  This module implements that bookkeeping with
+versioned FIB snapshots and explicit consistency checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, TopologyError
+from ..net.addresses import Prefix
+from ..routing.table import Route, RoutingTable
+from .mac_encoding import mac_trick_feasible
+
+
+@dataclass
+class NodeState:
+    """Control-plane view of one cluster server."""
+
+    node_id: int
+    external_port: int
+    fib_version: int = 0
+    fib: Optional[RoutingTable] = None
+    alive: bool = True
+
+
+class ClusterManager:
+    """Membership + FIB distribution for a full-mesh RouteBricks cluster.
+
+    The manager owns the master RIB (prefix -> external port).  Each
+    external port belongs to exactly one node; pushing the FIB gives every
+    node an identical routing table whose ``Route.port`` values are
+    *cluster node ids* -- what ``VLBIngress`` consumes.
+    """
+
+    def __init__(self, port_rate_bps: float = 10e9):
+        self.port_rate_bps = port_rate_bps
+        self.rib: Dict[Prefix, int] = {}   # prefix -> external port
+        self._nodes: Dict[int, NodeState] = {}
+        self._port_owner: Dict[int, int] = {}
+        self._next_node_id = 0
+        self.rib_version = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def add_node(self, external_port: int) -> int:
+        """Add a server owning ``external_port``; returns its node id."""
+        if external_port in self._port_owner:
+            raise ConfigurationError("port %d already owned by node %d"
+                                     % (external_port,
+                                        self._port_owner[external_port]))
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        self._nodes[node_id] = NodeState(node_id=node_id,
+                                         external_port=external_port)
+        self._port_owner[external_port] = node_id
+        if not mac_trick_feasible(len(self._nodes)):
+            # Still allowed, but single-lookup forwarding stops working.
+            self._nodes[node_id].alive = True
+        return node_id
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a server; its port's routes become unresolvable until
+        the port is reassigned."""
+        if node_id not in self._nodes:
+            raise ConfigurationError("no node %d" % node_id)
+        state = self._nodes.pop(node_id)
+        del self._port_owner[state.external_port]
+
+    def nodes(self) -> List[int]:
+        return sorted(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def mesh_links(self) -> List[Tuple[int, int]]:
+        """The directed internal links current membership requires."""
+        ids = self.nodes()
+        return [(a, b) for a in ids for b in ids if a != b]
+
+    def internal_link_rate_bps(self) -> float:
+        """VLB's required internal link rate for the current mesh."""
+        if self.num_nodes < 2:
+            raise TopologyError("mesh needs >= 2 nodes")
+        return 2 * self.port_rate_bps / self.num_nodes
+
+    # -- RIB / FIB -------------------------------------------------------------
+
+    def announce(self, prefix, external_port: int) -> None:
+        """Install or move a prefix to an external port in the master RIB."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        if external_port not in self._port_owner:
+            raise ConfigurationError("no node owns port %d" % external_port)
+        self.rib[prefix] = external_port
+        self.rib_version += 1
+
+    def withdraw(self, prefix) -> None:
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        if prefix not in self.rib:
+            raise ConfigurationError("prefix %s not announced" % prefix)
+        del self.rib[prefix]
+        self.rib_version += 1
+
+    def build_fib(self) -> RoutingTable:
+        """Compile the RIB into a node FIB (prefix -> owning node id)."""
+        fib = RoutingTable()
+        for prefix, port in self.rib.items():
+            node_id = self._port_owner.get(port)
+            if node_id is None:
+                continue  # orphaned route: owner was removed
+            fib.add_route(prefix, Route(port=node_id,
+                                        next_hop=prefix.network))
+        return fib
+
+    def push_fibs(self) -> int:
+        """Distribute the compiled FIB to every node; returns the version."""
+        fib_template = self.build_fib()
+        for state in self._nodes.values():
+            # Each node gets its own table instance (independent mutation
+            # in tests mirrors independent memory in reality) built from
+            # the same snapshot.
+            table = RoutingTable()
+            for prefix, route in fib_template.routes():
+                table.add_route(prefix, route)
+            state.fib = table
+            state.fib_version = self.rib_version
+        return self.rib_version
+
+    def fib_of(self, node_id: int) -> RoutingTable:
+        state = self._nodes.get(node_id)
+        if state is None:
+            raise ConfigurationError("no node %d" % node_id)
+        if state.fib is None:
+            raise ConfigurationError("node %d has no FIB yet" % node_id)
+        return state.fib
+
+    # -- consistency ------------------------------------------------------------
+
+    def stale_nodes(self) -> List[int]:
+        """Nodes whose FIB lags the master RIB version."""
+        return [node_id for node_id, state in sorted(self._nodes.items())
+                if state.fib is None or state.fib_version != self.rib_version]
+
+    def check_consistency(self, probes: List) -> bool:
+        """All nodes agree on the egress node for every probe address."""
+        if not self._nodes:
+            raise ConfigurationError("empty cluster")
+        if self.stale_nodes():
+            return False
+        for probe in probes:
+            answers = set()
+            for state in self._nodes.values():
+                route = state.fib.lookup(probe)
+                answers.add(None if route is None else route.port)
+            if len(answers) > 1:
+                return False
+        return True
+
+    def capacity_bps(self) -> float:
+        """Aggregate external capacity of the current membership."""
+        return self.num_nodes * self.port_rate_bps

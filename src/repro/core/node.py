@@ -1,0 +1,167 @@
+"""A cluster node in the packet-level simulation.
+
+Each node plays all three VLB roles (Fig. 2): *input* (full IP processing,
+output-node selection, path choice), *intermediate* (queue-to-queue move,
+steering by the MAC-encoded node id), and *output* (transmit on the
+external line).  Path choice is Direct VLB with adaptive local decisions
+plus the flowlet rule of Sec. 6.1; per-packet balancing (classic VLB
+spreading) is available for the ablation the paper reports (5.5 % vs
+0.15 % reordering).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SimulationError
+from ..net.packet import Packet
+from ..simnet.engine import Simulator
+from ..simnet.links import Link
+from ..units import usec
+from .flowlet import FlowletTable
+from .latency import server_latency_usec
+from .mac_encoding import decode_output_node, encode_output_node
+
+
+class ClusterNode:
+    """One server of the cluster router (DES behavior)."""
+
+    def __init__(self, node_id: int, sim: Simulator, num_nodes: int,
+                 rng: random.Random, use_flowlets: bool = True,
+                 link_busy_threshold_sec: float = 200e-6):
+        self.node_id = node_id
+        self.sim = sim
+        self.num_nodes = num_nodes
+        self.rng = rng
+        self.use_flowlets = use_flowlets
+        self.flowlets = FlowletTable() if use_flowlets else None
+        #: Outgoing internal links, keyed by destination node id.
+        self.links: Dict[int, Link] = {}
+        #: Optional rate-limited external line; when set, egress packets
+        #: serialize through it (and can be dropped under contention),
+        #: which is what makes the fairness guarantee measurable.
+        self.egress_link: Optional[Link] = None
+        #: Called when a packet exits this node's external port.
+        self.egress_callback: Optional[Callable[[Packet, float], None]] = None
+        self.link_busy_threshold_sec = link_busy_threshold_sec
+        self.ingress_packets = 0
+        self.egress_packets = 0
+        self.intermediate_packets = 0
+        self.dropped = 0
+        #: Next hops this node considers unreachable (failed peers or
+        #: cables); path choice routes around them with purely local
+        #: information, as VLB permits.
+        self.failed_hops = set()
+
+    # -- wiring -------------------------------------------------------------
+
+    def connect(self, dst_node_id: int, link: Link) -> None:
+        if dst_node_id == self.node_id:
+            raise SimulationError("node cannot link to itself")
+        self.links[dst_node_id] = link
+
+    # -- path choice ----------------------------------------------------------
+
+    def _link_available(self, next_hop: int) -> bool:
+        """Local-information load check: is the link up and unbacklogged?"""
+        if next_hop in self.failed_hops:
+            return False
+        link = self.links[next_hop]
+        backlog_sec = link.queued_bits() / link.rate_bps
+        return backlog_sec < self.link_busy_threshold_sec
+
+    def _path_available(self, path: int, egress: int) -> bool:
+        """A path is its first hop: direct (path == egress) or via an
+        intermediate node id."""
+        if path == self.node_id:
+            return False
+        return self._link_available(path)
+
+    def _fresh_path(self, egress: int) -> int:
+        """Adaptive Direct VLB: direct while the direct link has headroom,
+        otherwise the least-loaded live intermediate."""
+        if self._link_available(egress):
+            return egress
+        candidates = [i for i in range(self.num_nodes)
+                      if i not in (self.node_id, egress)
+                      and i not in self.failed_hops]
+        if not candidates:
+            return egress
+        self.rng.shuffle(candidates)
+        return min(candidates,
+                   key=lambda i: self.links[i].queued_bits())
+
+    def choose_path(self, packet: Packet, egress: int, now: float) -> int:
+        """First hop for a packet entering here, destined for ``egress``."""
+        if egress == self.node_id:
+            return egress  # local delivery, no internal hop
+        if self.use_flowlets:
+            # Key by (flow, egress): a path pinned for one output node
+            # must never be reused for another.
+            return self.flowlets.assign(
+                (packet.five_tuple(), egress), now,
+                path_available=lambda p: self._path_available(p, egress),
+                fresh_path=lambda: self._fresh_path(egress))
+        # Per-packet balancing (the reordering-prone baseline).
+        return self._fresh_path(egress)
+
+    # -- roles ----------------------------------------------------------------
+
+    def ingress(self, packet: Packet, egress_node: int) -> None:
+        """A packet arrives on this node's external line."""
+        self.ingress_packets += 1
+        packet.ingress_node = self.node_id
+        packet.egress_node = egress_node
+        packet.arrival_time = self.sim.now
+        packet.path = [self.node_id]
+        encode_output_node(packet, egress_node, max_nodes=max(
+            self.num_nodes, 1))
+        delay = usec(server_latency_usec("input"))
+        if egress_node == self.node_id:
+            # Arrived at its own output node: no internal traversal.
+            self.sim.schedule(delay + usec(server_latency_usec("output")),
+                              lambda p=packet: self._egress(p))
+            return
+        first_hop = self.choose_path(packet, egress_node, self.sim.now)
+        self.sim.schedule(delay,
+                          lambda p=packet, h=first_hop: self._send(p, h))
+
+    def _send(self, packet: Packet, next_hop: int) -> None:
+        if next_hop in self.failed_hops:
+            # A dead cable: anything committed to it is lost.
+            self.dropped += 1
+            return
+        link = self.links.get(next_hop)
+        if link is None:
+            raise SimulationError("node %d has no link to %d"
+                                  % (self.node_id, next_hop))
+        if not link.send(packet):
+            self.dropped += 1
+
+    def receive_internal(self, packet: Packet) -> None:
+        """A packet arrives on an internal link."""
+        output = decode_output_node(packet)
+        packet.path.append(self.node_id)
+        if output == self.node_id:
+            delay = usec(server_latency_usec("output"))
+            self.sim.schedule(delay, lambda p=packet: self._egress(p))
+            return
+        # Intermediate role: queue-to-queue move, steer by MAC.
+        self.intermediate_packets += 1
+        delay = usec(server_latency_usec("intermediate"))
+        self.sim.schedule(delay,
+                          lambda p=packet, h=output: self._send(p, h))
+
+    def _egress(self, packet: Packet) -> None:
+        if self.egress_link is not None:
+            if not self.egress_link.send(packet):
+                self.dropped += 1
+            return
+        self._egress_done(packet)
+
+    def _egress_done(self, packet: Packet) -> None:
+        self.egress_packets += 1
+        packet.departure_time = self.sim.now
+        if self.egress_callback is not None:
+            self.egress_callback(packet, self.sim.now)

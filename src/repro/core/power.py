@@ -1,0 +1,108 @@
+"""Power-management modeling (Sec. 8's proposed direction).
+
+The discussion suggests reducing the cluster's power draw by slowing or
+sleeping "system components that are not stressed by router workloads,
+using commonly available low-power modes".  This module quantifies that:
+given the bottleneck analysis (which components have headroom at the
+operating point), estimate the savings from clocking each non-bottleneck
+component down to its utilization.
+
+The per-component power split of a 650 W server follows typical 2008-era
+budgets: CPUs ~40 %, memory ~25 %, I/O+NICs ~20 %, fixed (fans, VRs,
+disks) ~15 %.  Only the proportional part of an idle component's budget
+is recoverable (low-power modes do not reach zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+from ..hw.presets import NEHALEM
+from ..hw.server import ServerSpec
+
+#: Nominal server draw (2.6 kW / 4 servers).
+SERVER_POWER_W = 650.0
+
+#: Share of server power per component class.
+POWER_SHARES = {
+    "cpu": 0.40,
+    "memory": 0.25,
+    "io": 0.20,
+    "fixed": 0.15,
+}
+
+#: Fraction of a component's budget that scales with utilization (the
+#: rest is leakage/idle draw that low-power modes cannot recover).
+PROPORTIONAL_FRACTION = {
+    "cpu": 0.65,
+    "memory": 0.5,
+    "io": 0.5,
+    "fixed": 0.0,
+}
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Estimated per-server draw at an operating point."""
+
+    baseline_w: float
+    managed_w: float
+    component_w: Dict[str, float]
+
+    @property
+    def savings_fraction(self) -> float:
+        return 1.0 - self.managed_w / self.baseline_w
+
+
+def component_utilizations(app: cal.AppCost, packet_bytes: int = 64,
+                           offered_fraction: float = 1.0,
+                           spec: ServerSpec = NEHALEM) -> Dict[str, float]:
+    """Utilization of each component class at a fraction of saturation."""
+    from ..perfmodel.throughput import max_loss_free_rate
+
+    if not 0 < offered_fraction <= 1:
+        raise ConfigurationError("offered_fraction must be in (0, 1]")
+    result = max_loss_free_rate(app, packet_bytes, spec=spec)
+    offered_pps = result.rate_pps * offered_fraction
+    utils = result.utilization_at(offered_pps)
+    return {
+        "cpu": min(1.0, utils.get("cpu", 0.0)),
+        "memory": min(1.0, utils.get("memory", 0.0)),
+        "io": min(1.0, max(utils.get("io", 0.0), utils.get("pcie", 0.0))),
+        "fixed": 1.0,
+    }
+
+
+def managed_power(app: cal.AppCost, packet_bytes: int = 64,
+                  offered_fraction: float = 1.0,
+                  spec: ServerSpec = NEHALEM) -> PowerEstimate:
+    """Per-server power with utilization-proportional low-power modes."""
+    utils = component_utilizations(app, packet_bytes, offered_fraction,
+                                   spec)
+    component_w = {}
+    total = 0.0
+    for component, share in POWER_SHARES.items():
+        budget = SERVER_POWER_W * share
+        proportional = PROPORTIONAL_FRACTION[component]
+        draw = budget * ((1 - proportional)
+                         + proportional * utils[component])
+        component_w[component] = draw
+        total += draw
+    return PowerEstimate(baseline_w=SERVER_POWER_W, managed_w=total,
+                         component_w=component_w)
+
+
+def cluster_power_kw(num_servers: int, app: cal.AppCost,
+                     packet_bytes: int = 64,
+                     offered_fraction: float = 1.0,
+                     managed: bool = True) -> float:
+    """Cluster draw with or without power management."""
+    if num_servers < 1:
+        raise ConfigurationError("need >= 1 server")
+    if not managed:
+        return num_servers * SERVER_POWER_W / 1e3
+    estimate = managed_power(app, packet_bytes, offered_fraction)
+    return num_servers * estimate.managed_w / 1e3

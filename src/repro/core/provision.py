@@ -1,0 +1,99 @@
+"""Topology selection and cluster provisioning (Sec. 3.3).
+
+The selection algorithm: (1) give each server as many external ports as
+its processing rate allows; (2) full mesh if the fanout accommodates the
+resulting server count; (3) otherwise a k-ary n-fly.  The three Fig. 3
+server configurations are provided as :data:`SERVER_MODELS`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import TopologyError
+from .topology import FullMesh, KAryNFly
+
+#: 1 G ports per NIC in compact form factor (Sec. 3.3).
+PORTS_PER_NIC_1G = 8
+
+
+@dataclass(frozen=True)
+class ServerModel:
+    """A Fig. 3 server configuration."""
+
+    name: str
+    external_ports_per_server: int
+    nic_slots: int
+    #: NIC slots consumed by the external port(s).
+    slots_for_external: int = 1
+
+    def internal_fanout(self) -> int:
+        """1 G internal ports available after the external port(s)."""
+        free_slots = self.nic_slots - self.slots_for_external
+        if free_slots < 1:
+            raise TopologyError("%s has no slots left for internal links"
+                                % self.name)
+        return free_slots * PORTS_PER_NIC_1G
+
+
+SERVER_MODELS = {
+    # "Current servers": one port, 5 NIC slots.
+    "current": ServerModel("current", external_ports_per_server=1,
+                           nic_slots=5),
+    # "More NICs": custom 20-slot motherboards.
+    "more-nics": ServerModel("more-nics", external_ports_per_server=1,
+                             nic_slots=20),
+    # "Faster servers with more NICs": two ports per server.
+    "faster": ServerModel("faster", external_ports_per_server=2,
+                          nic_slots=20),
+}
+
+
+def provision(num_ports: int,
+              model: Union[str, ServerModel] = "current") \
+        -> Union[FullMesh, KAryNFly]:
+    """Pick the topology for an N-port router on the given server model.
+
+    Returns the cheapest feasible topology object; its ``total_servers()``
+    is the Fig. 3 y-value.
+    """
+    if isinstance(model, str):
+        if model not in SERVER_MODELS:
+            raise TopologyError("unknown server model %r (have %s)"
+                                % (model, sorted(SERVER_MODELS)))
+        model = SERVER_MODELS[model]
+    if num_ports < 2:
+        raise TopologyError("a router needs >= 2 ports")
+    mesh = FullMesh(num_ports=num_ports,
+                    ports_per_server=model.external_ports_per_server,
+                    fanout=model.internal_fanout())
+    if mesh.feasible():
+        return mesh
+    return KAryNFly(num_ports=num_ports,
+                    ports_per_server=model.external_ports_per_server,
+                    fanout=model.internal_fanout())
+
+
+def servers_required(num_ports: int,
+                     model: Union[str, ServerModel] = "current") -> int:
+    """Fig. 3: total cluster servers for an N-port router."""
+    return provision(num_ports, model).total_servers()
+
+
+def max_mesh_ports(model: Union[str, ServerModel]) -> int:
+    """Largest power-of-two port count the full mesh supports."""
+    if isinstance(model, str):
+        model = SERVER_MODELS[model]
+    fanout = model.internal_fanout()
+    # Mesh feasible while ceil(N/s) - 1 <= fanout.
+    max_servers = fanout + 1
+    max_ports = max_servers * model.external_ports_per_server
+    return 1 << int(math.log2(max_ports))
+
+
+def cost_usd(num_servers: int) -> int:
+    """Cluster cost at the paper's $2000/server."""
+    from .. import calibration as cal
+    return num_servers * cal.SERVER_COST_USD

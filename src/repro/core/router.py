@@ -1,0 +1,312 @@
+"""The RouteBricks cluster router: RB4 and beyond.
+
+Two complementary views:
+
+* :meth:`RouteBricksRouter.max_throughput` -- the analytic operating point:
+  per-node CPU budget against the VLB workload (ingress routing + egress
+  forwarding + intermediate forwarding + reordering-avoidance overhead)
+  and the per-NIC payload ceiling.  Reproduces RB4's 12 Gbps (64 B) and
+  35 Gbps (Abilene) results (Sec. 6.2).
+* :meth:`RouteBricksRouter.simulate` -- the packet-level DES: full-mesh
+  links, Direct VLB with flowlets (or per-packet balancing), per-role
+  latencies; measures reordering, latency, loss.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+from ..hw.presets import NEHALEM
+from ..hw.server import ServerSpec
+from ..net.packet import Packet
+from ..perfmodel.loads import DEFAULT_CONFIG, ServerConfig
+from ..simnet.engine import Simulator
+from ..simnet.links import Link
+from ..simnet.stats import Histogram
+from ..units import gbps, rate_pps_to_bps, to_usec
+from .node import ClusterNode
+from .reordering import ReorderingMeter
+
+#: Effective per-NIC payload limit observed in cluster operation
+#: (Sec. 6.2: the external-line NIC sustains ~8.75 Gbps external + ~3 Gbps
+#: internal = 11.67 Gbps, slightly under the 12.3 Gbps single-direction
+#: traffic-generation figure because both ports move payload and
+#: descriptors concurrently).
+RB4_NIC_EFFECTIVE_BPS = gbps(11.67)
+
+
+@dataclass(frozen=True)
+class ClusterThroughput:
+    """Analytic throughput of the cluster for one workload."""
+
+    aggregate_bps: float
+    per_port_bps: float
+    binding: str                      # "cpu" | "nic" | "link"
+    cycles_per_ingress_packet: float
+    limits_bps: Dict[str, float]
+
+    @property
+    def aggregate_gbps(self) -> float:
+        return self.aggregate_bps / 1e9
+
+
+@dataclass
+class SimulationReport:
+    """Results of a packet-level cluster run."""
+
+    offered_packets: int = 0
+    delivered_packets: int = 0
+    dropped_packets: int = 0
+    reordered_fraction: float = 0.0
+    latency_usec: Histogram = field(default_factory=Histogram)
+    direct_packets: int = 0
+    indirect_packets: int = 0
+    flowlet_switches: int = 0
+    flowlet_spills: int = 0
+    resequencer_held: int = 0
+    resequencer_timeouts: int = 0
+    node_stats: List[dict] = field(default_factory=list)
+
+    @property
+    def delivery_ratio(self) -> float:
+        return (self.delivered_packets / self.offered_packets
+                if self.offered_packets else 0.0)
+
+    @property
+    def indirect_fraction(self) -> float:
+        total = self.direct_packets + self.indirect_packets
+        return self.indirect_packets / total if total else 0.0
+
+
+class RouteBricksRouter:
+    """An N-node full-mesh RouteBricks cluster (RB4 when N = 4)."""
+
+    def __init__(self, num_nodes: int = cal.RB4_NODES,
+                 port_rate_bps: float = cal.PORT_RATE_BPS,
+                 internal_link_bps: float = cal.PORT_RATE_BPS,
+                 spec: ServerSpec = NEHALEM,
+                 config: ServerConfig = DEFAULT_CONFIG,
+                 use_flowlets: bool = True,
+                 resequence: bool = False,
+                 resequence_timeout_sec: float = 1e-3,
+                 nic_effective_bps: float = RB4_NIC_EFFECTIVE_BPS,
+                 link_busy_threshold_sec: float = 50e-6,
+                 seed: int = 0):
+        if num_nodes < 2:
+            raise ConfigurationError("cluster needs >= 2 nodes")
+        self.num_nodes = num_nodes
+        self.port_rate_bps = port_rate_bps
+        self.internal_link_bps = internal_link_bps
+        self.spec = spec
+        self.config = config
+        self.use_flowlets = use_flowlets
+        self.resequence = resequence
+        self.resequence_timeout_sec = resequence_timeout_sec
+        self.nic_effective_bps = nic_effective_bps
+        self.link_busy_threshold_sec = link_busy_threshold_sec
+        self.seed = seed
+
+    # -- analytic model ------------------------------------------------------
+
+    def _cycles_per_ingress_packet(self, packet_bytes: float,
+                                   indirect_fraction: float,
+                                   ingress_app: cal.AppCost = None) -> float:
+        """CPU work one ingress packet induces across the cluster, charged
+        per node (symmetric traffic): the ingress application at the input
+        node (full IP routing by default, as in RB4), minimal forwarding
+        at the output node, minimal forwarding at an intermediate for the
+        balanced share, plus flowlet bookkeeping."""
+        if ingress_app is None:
+            ingress_app = cal.IP_ROUTING
+        book = cal.bookkeeping_cycles(self.config.kp, self.config.kn)
+        ingress = ingress_app.cpu_cycles(packet_bytes) + book
+        forwarding = cal.MINIMAL_FORWARDING.cpu_cycles(packet_bytes) + book
+        overhead = cal.REORDER_AVOIDANCE_CYCLES if self.use_flowlets else 0.0
+        return (ingress + forwarding
+                + indirect_fraction * forwarding + overhead)
+
+    def max_throughput(self, packet_bytes: float,
+                       uniform: bool = True,
+                       ingress_app: cal.AppCost = None) -> ClusterThroughput:
+        """Analytic loss-free throughput for fixed/mean packet size.
+
+        With a close-to-uniform matrix and adaptive Direct VLB, per-pair
+        demand R/(N-1) stays below the internal link rate, so everything
+        routes directly (``indirect_fraction = 0``) -- the regime both RB4
+        experiments ran in.  A worst-case matrix forces the full two-phase
+        tax (one extra forwarding per packet, links carry 2R/N each way).
+        """
+        n = self.num_nodes
+        indirect = 0.0 if uniform else 1.0
+        cycles = self._cycles_per_ingress_packet(packet_bytes, indirect,
+                                                 ingress_app)
+        cpu_pps = self.spec.cycles_per_second / cycles
+        cpu_bps = rate_pps_to_bps(cpu_pps, packet_bytes)
+
+        # NIC ceiling: the external-line NIC carries R (external) plus the
+        # busiest internal port's share.
+        if uniform:
+            internal_share = 1.0 / (n - 1)     # direct mesh spreading
+        else:
+            internal_share = 2.0 / n           # VLB two-phase per-link load
+        nic_bps = self.nic_effective_bps / (1.0 + internal_share)
+
+        # Internal links must carry their share at rate R.
+        link_bps = self.internal_link_bps / internal_share
+
+        limits = {"cpu": cpu_bps, "nic": nic_bps, "link": link_bps,
+                  "port": self.port_rate_bps}
+        binding = min(limits, key=limits.get)
+        per_port = limits[binding]
+        return ClusterThroughput(
+            aggregate_bps=per_port * n,
+            per_port_bps=per_port,
+            binding=binding,
+            cycles_per_ingress_packet=cycles,
+            limits_bps=limits,
+        )
+
+    # -- packet-level simulation ----------------------------------------------
+
+    def build_simulation(self, rate_limited_egress: bool = False) \
+            -> Tuple[Simulator, List[ClusterNode]]:
+        """Instantiate the DES: nodes plus full-mesh internal links.
+
+        With ``rate_limited_egress`` each node's external line is a real
+        R-bps link: contended outputs serialize and drop, which the
+        fairness experiments need.
+        """
+        sim = Simulator()
+        rng = random.Random(self.seed)
+        nodes = [ClusterNode(node_id=i, sim=sim, num_nodes=self.num_nodes,
+                             rng=random.Random(rng.getrandbits(32)),
+                             use_flowlets=self.use_flowlets,
+                             link_busy_threshold_sec=self.link_busy_threshold_sec)
+                 for i in range(self.num_nodes)]
+        for src in nodes:
+            for dst in nodes:
+                if src is dst:
+                    continue
+                link = Link(sim,
+                            name="link-%d-%d" % (src.node_id, dst.node_id),
+                            rate_bps=self.internal_link_bps,
+                            deliver=dst.receive_internal)
+                src.connect(dst.node_id, link)
+        if rate_limited_egress:
+            for node in nodes:
+                node.egress_link = Link(
+                    sim, name="ext-%d" % node.node_id,
+                    rate_bps=self.port_rate_bps,
+                    deliver=node._egress_done,
+                    queue_packets=256)
+        return sim, nodes
+
+    def simulate(self,
+                 events: Iterable[Tuple[float, int, int, Packet]],
+                 until: Optional[float] = None,
+                 rate_limited_egress: bool = False,
+                 failed_links: Iterable[Tuple[int, int]] = ()) -> SimulationReport:
+        """Run traffic through the cluster.
+
+        ``events`` yields (time, ingress node, egress node, packet); the
+        report covers reordering (per the Sec. 6.2 metric), latency, and
+        path statistics.  ``failed_links`` marks directed (src, dst)
+        internal cables as down from the start: nodes route around them
+        with local information only (packets already committed to a dead
+        first hop at a transit node are lost, as in reality).
+        """
+        sim, nodes = self.build_simulation(rate_limited_egress)
+        for src, dst in failed_links:
+            if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+                raise ConfigurationError("bad failed link (%r, %r)"
+                                         % (src, dst))
+            nodes[src].failed_hops.add(dst)
+        report = SimulationReport()
+        meter = ReorderingMeter()
+
+        def on_egress(packet: Packet, now: float) -> None:
+            report.delivered_packets += 1
+            meter.observe(packet)
+            report.latency_usec.observe(to_usec(now - packet.arrival_time))
+            if len(packet.path) <= 2:
+                report.direct_packets += 1
+            else:
+                report.indirect_packets += 1
+
+        if self.resequence:
+            # The rejected alternative (Sec. 6.1): buffer out-of-order
+            # arrivals at the output node and release flows in order.
+            from .resequencer import Resequencer
+            resequencers = []
+
+            def make_callback():
+                reseq = Resequencer(
+                    deliver=lambda p: on_egress(p, sim.now),
+                    timeout_sec=self.resequence_timeout_sec)
+                resequencers.append(reseq)
+
+                def callback(packet: Packet, now: float,
+                             reseq=reseq) -> None:
+                    reseq.offer(packet.five_tuple(), packet, now)
+
+                return callback
+
+            for node in nodes:
+                node.egress_callback = make_callback()
+
+            def expire_all():
+                for reseq in resequencers:
+                    reseq.expire(sim.now)
+                if sim.peek_time() is not None:
+                    sim.schedule(self.resequence_timeout_sec / 2, expire_all)
+
+            sim.schedule(self.resequence_timeout_sec / 2, expire_all)
+        else:
+            resequencers = []
+            for node in nodes:
+                node.egress_callback = on_egress
+
+        for time, ingress, egress, packet in events:
+            if not 0 <= ingress < self.num_nodes:
+                raise ConfigurationError("bad ingress node %r" % ingress)
+            if not 0 <= egress < self.num_nodes:
+                raise ConfigurationError("bad egress node %r" % egress)
+            report.offered_packets += 1
+            sim.schedule_at(time, lambda n=nodes[ingress], p=packet,
+                            e=egress: n.ingress(p, e))
+        sim.run(until=until)
+        for reseq in resequencers:
+            # Final flush: release anything still held back.
+            reseq.expire(sim.now + self.resequence_timeout_sec * 2)
+            report.resequencer_held += reseq.held
+            report.resequencer_timeouts += reseq.timed_out
+
+        # node.dropped already counts failed sends on both internal links
+        # and the external line (the link's own drop counter double-books
+        # the same event, so it is not summed here).
+        report.dropped_packets = sum(node.dropped for node in nodes)
+        report.reordered_fraction = meter.reordered_fraction()
+        for node in nodes:
+            report.node_stats.append({
+                "node": node.node_id,
+                "ingress": node.ingress_packets,
+                "egress": node.egress_packets,
+                "intermediate": node.intermediate_packets,
+            })
+            if node.flowlets is not None:
+                report.flowlet_switches += node.flowlets.switches
+                report.flowlet_spills += node.flowlets.spills
+        return report
+
+    def replay_pair(self, timed_packets: Iterable[Tuple[float, Packet]],
+                    ingress: int = 0, egress: int = 1) -> SimulationReport:
+        """The Sec. 6.2 reordering setup: a whole trace through one
+        input/output pair (overloading the direct path so balancing kicks
+        in)."""
+        events = ((time, ingress, egress, packet)
+                  for time, packet in timed_packets)
+        return self.simulate(events)

@@ -1,0 +1,84 @@
+"""Switching guarantees: 100 % throughput and fairness (Sec. 3.1).
+
+A switching solution must let all output ports run at full line rate when
+demand exists (100 % throughput) and give each input its fair share of any
+contended output.  VLB provides both with purely local decisions; these
+checkers verify the claims analytically (link/node loads under an
+admissible matrix stay within capacity) and empirically (DES egress
+shares).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigurationError
+from ..workloads.matrices import TrafficMatrix
+from .vlb import DirectVlb, analyze
+
+
+@dataclass(frozen=True)
+class ThroughputCheck:
+    """Result of the analytic 100 %-throughput check."""
+
+    ok: bool
+    max_link_utilization: float
+    max_node_c_factor: float
+    detail: str
+
+
+def check_throughput(matrix: TrafficMatrix, port_rate_bps: float,
+                     internal_link_bps: float,
+                     node_processing_bps: float,
+                     policy=None) -> ThroughputCheck:
+    """Verify that VLB can carry ``matrix`` without overloading anything.
+
+    The matrix must be admissible (no port oversubscribed); VLB then
+    guarantees feasibility iff every internal link stays within its rate
+    and every node within its processing budget.
+    """
+    if not matrix.is_admissible(port_rate_bps):
+        return ThroughputCheck(False, float("inf"), float("inf"),
+                               "matrix is not admissible")
+    analysis = analyze(matrix, port_rate_bps, policy or DirectVlb())
+    link_util = analysis.max_link_load / internal_link_bps
+    node_util = analysis.max_node_processing / node_processing_bps
+    ok = link_util <= 1.0 and node_util <= 1.0
+    detail = ("ok" if ok else
+              "overload: link %.2f, node %.2f" % (link_util, node_util))
+    return ThroughputCheck(ok=ok,
+                           max_link_utilization=link_util,
+                           max_node_c_factor=analysis.c_factor(port_rate_bps),
+                           detail=detail)
+
+
+def check_fairness(egress_counts: Dict[int, int],
+                   tolerance: float = 0.15) -> bool:
+    """Are per-input egress shares within ``tolerance`` of equal?
+
+    ``egress_counts`` maps input node -> packets it got through a
+    contended output.  Jain-style check: all shares within tolerance of
+    the mean.
+    """
+    if not egress_counts:
+        raise ConfigurationError("no egress counts to check")
+    if not 0 < tolerance < 1:
+        raise ConfigurationError("tolerance must be in (0, 1)")
+    counts = list(egress_counts.values())
+    mean = sum(counts) / len(counts)
+    if mean == 0:
+        return False
+    return all(abs(count - mean) / mean <= tolerance for count in counts)
+
+
+def jain_index(egress_counts: Dict[int, int]) -> float:
+    """Jain's fairness index of the per-input shares (1.0 = perfectly fair)."""
+    counts = list(egress_counts.values())
+    if not counts:
+        raise ConfigurationError("no egress counts")
+    total = sum(counts)
+    squares = sum(c * c for c in counts)
+    if squares == 0:
+        return 0.0
+    return total * total / (len(counts) * squares)

@@ -1,0 +1,94 @@
+"""IPsec ESP (RFC 4303) tunnel-mode encapsulation with AES-128-CBC.
+
+The IPsec workload encrypts every packet (Sec. 5.1).  This module provides
+the functional path: the original IP packet is encrypted and wrapped in an
+outer IPv4+ESP envelope with an incrementing sequence number; decapsulation
+validates and reverses the operation.  (No authentication trailer: the
+paper's workload is encryption-only.)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import CryptoError
+from ..net.addresses import IPv4Address
+from ..net.headers import ETHERNET_HEADER_BYTES, IPv4Header, PROTO_ESP
+from ..net.packet import Packet
+from .aes import AES128
+from .modes import cbc_decrypt, cbc_encrypt
+
+ESP_HEADER_BYTES = 8   # SPI (4) + sequence number (4)
+ESP_IV_BYTES = 16
+
+
+@dataclass
+class EspContext:
+    """A unidirectional ESP security association."""
+
+    spi: int
+    key: bytes
+    tunnel_src: IPv4Address
+    tunnel_dst: IPv4Address
+    seq: int = 0
+    _cipher: AES128 = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self._cipher = AES128(self.key)
+
+    def next_seq(self) -> int:
+        """Advance and return the outbound sequence number (wraps at 2^32)."""
+        self.seq = (self.seq + 1) & 0xFFFFFFFF
+        if self.seq == 0:
+            raise CryptoError("ESP sequence number exhausted for SPI %d" % self.spi)
+        return self.seq
+
+    def _iv(self, seq: int) -> bytes:
+        # Deterministic per-packet IV derived from (SPI, seq); fine for a
+        # simulation (a production SA would use an unpredictable IV).
+        return self._cipher.encrypt_block(struct.pack("!IIII", self.spi, seq, 0, 0))
+
+
+def esp_encapsulate(ctx: EspContext, packet: Packet) -> Packet:
+    """Tunnel-mode encrypt ``packet`` into a new outer packet.
+
+    The inner packet's serialized bytes (IP header onward) become the ESP
+    payload; the outer frame is addressed tunnel_src -> tunnel_dst.
+    """
+    if packet.ip is None:
+        raise CryptoError("cannot ESP-encapsulate a non-IP packet")
+    inner = packet.pack()[ETHERNET_HEADER_BYTES:]
+    seq = ctx.next_seq()
+    iv = ctx._iv(seq)
+    ciphertext = cbc_encrypt(ctx._cipher, iv, inner)
+    esp_header = struct.pack("!II", ctx.spi, seq)
+    body = esp_header + iv + ciphertext
+    outer_ip = IPv4Header(src=ctx.tunnel_src, dst=ctx.tunnel_dst,
+                          proto=PROTO_ESP, ttl=64,
+                          total_length=20 + len(body))
+    outer = Packet(length=ETHERNET_HEADER_BYTES + outer_ip.total_length,
+                   ip=outer_ip, payload=body)
+    outer.flow_seq = packet.flow_seq
+    outer.annotations["esp_seq"] = seq
+    return outer
+
+
+def esp_decapsulate(ctx: EspContext, packet: Packet) -> Packet:
+    """Reverse :func:`esp_encapsulate`, returning the inner packet."""
+    if packet.ip is None or packet.ip.proto != PROTO_ESP:
+        raise CryptoError("packet is not ESP")
+    body = packet.payload
+    if body is None or len(body) < ESP_HEADER_BYTES + ESP_IV_BYTES:
+        raise CryptoError("truncated ESP payload")
+    spi, seq = struct.unpack("!II", body[:ESP_HEADER_BYTES])
+    if spi != ctx.spi:
+        raise CryptoError("SPI mismatch: packet %d, context %d" % (spi, ctx.spi))
+    iv = body[ESP_HEADER_BYTES:ESP_HEADER_BYTES + ESP_IV_BYTES]
+    ciphertext = body[ESP_HEADER_BYTES + ESP_IV_BYTES:]
+    inner_bytes = cbc_decrypt(ctx._cipher, iv, ciphertext)
+    # Re-frame the inner IP packet under a fresh Ethernet header.
+    inner = Packet.unpack(b"\x00" * 12 + b"\x08\x00" + inner_bytes)
+    inner.flow_seq = packet.flow_seq
+    inner.annotations["esp_seq"] = seq
+    return inner

@@ -1,0 +1,30 @@
+"""Packet formats and protocol substrates.
+
+This package implements the wire-level substrate the router operates on:
+IPv4/MAC addresses, Ethernet/IPv4/UDP/TCP headers with real serialization,
+Internet checksums (full and incremental), a :class:`Packet` object that
+moves through the dataplane, and five-tuple flow identification with an
+RSS-style hash used to spread flows across NIC queues.
+"""
+
+from .addresses import IPv4Address, MACAddress, Prefix
+from .checksum import internet_checksum, incremental_checksum_update
+from .headers import EthernetHeader, IPv4Header, TCPHeader, UDPHeader, ETHERTYPE_IPV4
+from .packet import Packet
+from .flows import FiveTuple, rss_hash
+
+__all__ = [
+    "IPv4Address",
+    "MACAddress",
+    "Prefix",
+    "internet_checksum",
+    "incremental_checksum_update",
+    "EthernetHeader",
+    "IPv4Header",
+    "TCPHeader",
+    "UDPHeader",
+    "ETHERTYPE_IPV4",
+    "Packet",
+    "FiveTuple",
+    "rss_hash",
+]

@@ -1,0 +1,144 @@
+"""IPv4 fragmentation and reassembly (RFC 791).
+
+A router whose egress MTU is smaller than a packet must fragment it (or
+drop it when DF is set); end hosts reassemble.  Fragmentation operates on
+the packet's serialized bytes so offsets/lengths are exact; reassembly
+validates contiguity and enforces a timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import PacketError
+from .headers import ETHERNET_HEADER_BYTES, IPv4Header
+from .packet import Packet
+
+FLAG_DF = 0x2  # don't fragment
+FLAG_MF = 0x1  # more fragments
+
+
+def fragment_packet(packet: Packet, mtu: int) -> List[Packet]:
+    """Split an IP packet into fragments fitting ``mtu`` (IP bytes).
+
+    Returns [packet] unchanged when it already fits.  Raises
+    :class:`PacketError` for DF-marked packets that need fragmenting
+    (callers turn that into ICMP Fragmentation Needed).
+    """
+    if packet.ip is None:
+        raise PacketError("cannot fragment a non-IP packet")
+    if mtu < 68:
+        raise PacketError("IPv4 requires an MTU of at least 68")
+    ip_length = packet.ip.total_length
+    if ip_length <= mtu:
+        return [packet]
+    if packet.ip.flags & FLAG_DF:
+        raise PacketError("packet needs fragmenting but DF is set")
+    header_bytes = packet.ip.header_length()
+    payload = packet.pack()[ETHERNET_HEADER_BYTES + header_bytes:
+                            ETHERNET_HEADER_BYTES + ip_length]
+    # Fragment payload sizes must be multiples of 8 (offset units).
+    chunk = (mtu - header_bytes) & ~7
+    if chunk <= 0:
+        raise PacketError("MTU too small for any payload")
+    fragments = []
+    offset_units = packet.ip.fragment_offset  # already-fragmented input
+    position = 0
+    while position < len(payload):
+        piece = payload[position:position + chunk]
+        last = position + chunk >= len(payload)
+        header = IPv4Header(
+            src=packet.ip.src, dst=packet.ip.dst, ttl=packet.ip.ttl,
+            proto=packet.ip.proto,
+            total_length=header_bytes + len(piece),
+            identification=packet.ip.identification,
+            dscp=packet.ip.dscp,
+            flags=(packet.ip.flags & FLAG_DF)
+            | (0 if last and not (packet.ip.flags & FLAG_MF) else FLAG_MF),
+            fragment_offset=offset_units + position // 8,
+        )
+        fragment = Packet(
+            length=ETHERNET_HEADER_BYTES + header.total_length,
+            ip=header, payload=piece)
+        fragment.flow_seq = packet.flow_seq
+        fragments.append(fragment)
+        position += chunk
+    return fragments
+
+
+@dataclass
+class _ReassemblyState:
+    pieces: Dict[int, bytes] = field(default_factory=dict)  # offset -> bytes
+    total_payload: Optional[int] = None
+    first_seen: float = 0.0
+
+
+class Reassembler:
+    """Reassemble fragmented IPv4 packets, with a timeout."""
+
+    def __init__(self, timeout_sec: float = 30.0):
+        if timeout_sec <= 0:
+            raise PacketError("timeout must be positive")
+        self.timeout_sec = timeout_sec
+        self._flows: Dict[Tuple, _ReassemblyState] = {}
+        self.completed = 0
+        self.timed_out = 0
+
+    @staticmethod
+    def _key(packet: Packet) -> Tuple:
+        ip = packet.ip
+        return (int(ip.src), int(ip.dst), ip.proto, ip.identification)
+
+    def offer(self, packet: Packet, now: float = 0.0) -> Optional[Packet]:
+        """Feed a fragment; returns the reassembled packet when complete.
+
+        Unfragmented packets pass straight through.
+        """
+        ip = packet.ip
+        if ip is None:
+            raise PacketError("not an IP packet")
+        if ip.fragment_offset == 0 and not (ip.flags & FLAG_MF):
+            return packet
+        key = self._key(packet)
+        state = self._flows.setdefault(
+            key, _ReassemblyState(first_seen=now))
+        data = packet.pack()[ETHERNET_HEADER_BYTES + ip.header_length():
+                             ETHERNET_HEADER_BYTES + ip.total_length]
+        state.pieces[ip.fragment_offset * 8] = data
+        if not (ip.flags & FLAG_MF):
+            state.total_payload = ip.fragment_offset * 8 + len(data)
+        if state.total_payload is None:
+            return None
+        # Contiguity check.
+        assembled = bytearray()
+        expected = 0
+        while expected < state.total_payload:
+            piece = state.pieces.get(expected)
+            if piece is None:
+                return None
+            assembled.extend(piece)
+            expected += len(piece)
+        del self._flows[key]
+        self.completed += 1
+        header = IPv4Header(src=ip.src, dst=ip.dst, ttl=ip.ttl,
+                            proto=ip.proto,
+                            total_length=ip.header_length() + len(assembled),
+                            identification=ip.identification,
+                            dscp=ip.dscp)
+        whole = Packet(length=ETHERNET_HEADER_BYTES + header.total_length,
+                       ip=header, payload=bytes(assembled))
+        whole.flow_seq = packet.flow_seq
+        return whole
+
+    def expire(self, now: float) -> int:
+        """Discard incomplete reassemblies older than the timeout."""
+        stale = [key for key, state in self._flows.items()
+                 if now - state.first_seen > self.timeout_sec]
+        for key in stale:
+            del self._flows[key]
+        self.timed_out += len(stale)
+        return len(stale)
+
+    def pending(self) -> int:
+        return len(self._flows)

@@ -1,0 +1,186 @@
+"""Ethernet, IPv4, UDP, and TCP header codecs.
+
+Headers are mutable dataclass-style objects with real ``pack``/``unpack``
+round-trips; the Click dataplane elements operate on these rather than on
+raw bytes, but serialization is exercised by the trace writer and tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import PacketError
+from .addresses import IPv4Address, MACAddress
+from .checksum import internet_checksum
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_VLAN = 0x8100
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_ESP = 50
+
+ETHERNET_HEADER_BYTES = 14
+IPV4_MIN_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+TCP_MIN_HEADER_BYTES = 20
+
+
+@dataclass
+class EthernetHeader:
+    """An Ethernet II header (no 802.1Q tag)."""
+
+    dst: MACAddress = field(default_factory=lambda: MACAddress(0))
+    src: MACAddress = field(default_factory=lambda: MACAddress(0))
+    ethertype: int = ETHERTYPE_IPV4
+
+    def pack(self) -> bytes:
+        """Serialize to 14 wire bytes."""
+        return self.dst.to_bytes() + self.src.to_bytes() + struct.pack("!H", self.ethertype)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        """Parse the first 14 bytes of ``data``."""
+        if len(data) < ETHERNET_HEADER_BYTES:
+            raise PacketError("truncated Ethernet header (%d bytes)" % len(data))
+        dst = MACAddress.from_bytes(data[0:6])
+        src = MACAddress.from_bytes(data[6:12])
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(dst=dst, src=src, ethertype=ethertype)
+
+
+@dataclass
+class IPv4Header:
+    """An IPv4 header without options (IHL = 5)."""
+
+    src: IPv4Address = field(default_factory=lambda: IPv4Address(0))
+    dst: IPv4Address = field(default_factory=lambda: IPv4Address(0))
+    ttl: int = 64
+    proto: int = PROTO_UDP
+    total_length: int = IPV4_MIN_HEADER_BYTES
+    identification: int = 0
+    dscp: int = 0
+    flags: int = 0
+    fragment_offset: int = 0
+    checksum: int = 0
+
+    def header_length(self) -> int:
+        """Header length in bytes (always 20: options unsupported)."""
+        return IPV4_MIN_HEADER_BYTES
+
+    def pack(self, *, recompute_checksum: bool = True) -> bytes:
+        """Serialize to 20 wire bytes, recomputing the checksum by default."""
+        if recompute_checksum:
+            self.checksum = 0
+            raw = self._pack_raw()
+            self.checksum = internet_checksum(raw)
+        return self._pack_raw()
+
+    def _pack_raw(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        flags_frag = ((self.flags & 0x7) << 13) | (self.fragment_offset & 0x1FFF)
+        return struct.pack(
+            "!BBHHHBBH4s4s",
+            version_ihl,
+            self.dscp & 0xFF,
+            self.total_length & 0xFFFF,
+            self.identification & 0xFFFF,
+            flags_frag,
+            self.ttl & 0xFF,
+            self.proto & 0xFF,
+            self.checksum & 0xFFFF,
+            self.src.to_bytes(),
+            self.dst.to_bytes(),
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IPv4Header":
+        """Parse the first 20 bytes of ``data``; rejects non-IPv4/options."""
+        if len(data) < IPV4_MIN_HEADER_BYTES:
+            raise PacketError("truncated IPv4 header (%d bytes)" % len(data))
+        (version_ihl, dscp, total_length, identification, flags_frag,
+         ttl, proto, checksum, src, dst) = struct.unpack("!BBHHHBBH4s4s", data[:20])
+        version = version_ihl >> 4
+        ihl = version_ihl & 0xF
+        if version != 4:
+            raise PacketError("not an IPv4 packet (version=%d)" % version)
+        if ihl != 5:
+            raise PacketError("IPv4 options unsupported (ihl=%d)" % ihl)
+        return cls(
+            src=IPv4Address.from_bytes(src),
+            dst=IPv4Address.from_bytes(dst),
+            ttl=ttl,
+            proto=proto,
+            total_length=total_length,
+            identification=identification,
+            dscp=dscp,
+            flags=(flags_frag >> 13) & 0x7,
+            fragment_offset=flags_frag & 0x1FFF,
+            checksum=checksum,
+        )
+
+
+@dataclass
+class UDPHeader:
+    """A UDP header."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    length: int = UDP_HEADER_BYTES
+    checksum: int = 0
+
+    def pack(self) -> bytes:
+        """Serialize to 8 wire bytes."""
+        return struct.pack("!HHHH", self.src_port & 0xFFFF, self.dst_port & 0xFFFF,
+                           self.length & 0xFFFF, self.checksum & 0xFFFF)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDPHeader":
+        """Parse the first 8 bytes of ``data``."""
+        if len(data) < UDP_HEADER_BYTES:
+            raise PacketError("truncated UDP header (%d bytes)" % len(data))
+        src_port, dst_port, length, checksum = struct.unpack("!HHHH", data[:8])
+        return cls(src_port=src_port, dst_port=dst_port, length=length,
+                   checksum=checksum)
+
+
+@dataclass
+class TCPHeader:
+    """A TCP header without options (data offset = 5)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+    checksum: int = 0
+    urgent: int = 0
+
+    def pack(self) -> bytes:
+        """Serialize to 20 wire bytes."""
+        offset_flags = (5 << 12) | (self.flags & 0x1FF)
+        return struct.pack(
+            "!HHIIHHHH",
+            self.src_port & 0xFFFF,
+            self.dst_port & 0xFFFF,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            offset_flags,
+            self.window & 0xFFFF,
+            self.checksum & 0xFFFF,
+            self.urgent & 0xFFFF,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TCPHeader":
+        """Parse the first 20 bytes of ``data``."""
+        if len(data) < TCP_MIN_HEADER_BYTES:
+            raise PacketError("truncated TCP header (%d bytes)" % len(data))
+        (src_port, dst_port, seq, ack, offset_flags, window, checksum,
+         urgent) = struct.unpack("!HHIIHHHH", data[:20])
+        return cls(src_port=src_port, dst_port=dst_port, seq=seq, ack=ack,
+                   flags=offset_flags & 0x1FF, window=window,
+                   checksum=checksum, urgent=urgent)

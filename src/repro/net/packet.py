@@ -1,0 +1,177 @@
+"""The packet object that flows through the simulated dataplane.
+
+A :class:`Packet` carries parsed headers plus simulation metadata (arrival
+timestamps, ingress port, per-flow sequence numbers used by the reordering
+metric, and VLB annotations such as the chosen output node).  The payload is
+represented by its length alone unless bytes are attached -- simulating a
+64-byte packet should not cost 64 bytes of Python string churn, but the
+functional paths (checksums, encryption) operate on real bytes when present.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..errors import PacketError
+from .addresses import IPv4Address
+from .flows import FiveTuple
+from .headers import (
+    ETHERNET_HEADER_BYTES,
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    IPV4_MIN_HEADER_BYTES,
+    IPv4Header,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCPHeader,
+    UDPHeader,
+)
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """A network packet plus simulation metadata.
+
+    Attributes
+    ----------
+    length:
+        Total frame length in bytes (Ethernet header included).
+    eth, ip, l4:
+        Parsed headers; ``l4`` is a UDP or TCP header or ``None``.
+    payload:
+        Raw payload bytes, or ``None`` when only the length is simulated.
+    flow_seq:
+        Per-flow sequence number stamped by the traffic generator; the
+        reordering metric compares egress order against it.
+    ingress_node, egress_node:
+        Cluster node ids assigned by the VLB router.
+    arrival_time, departure_time:
+        Simulation timestamps (seconds).
+    """
+
+    __slots__ = (
+        "packet_id", "length", "eth", "ip", "l4", "payload",
+        "flow_seq", "ingress_node", "egress_node", "path",
+        "arrival_time", "departure_time", "annotations",
+    )
+
+    def __init__(self, length: int, eth: Optional[EthernetHeader] = None,
+                 ip: Optional[IPv4Header] = None, l4=None,
+                 payload: Optional[bytes] = None):
+        if length < ETHERNET_HEADER_BYTES:
+            raise PacketError("frame length %d below Ethernet minimum" % length)
+        self.packet_id = next(_packet_ids)
+        self.length = length
+        self.eth = eth if eth is not None else EthernetHeader()
+        self.ip = ip
+        self.l4 = l4
+        self.payload = payload
+        self.flow_seq = 0
+        self.ingress_node = None
+        self.egress_node = None
+        self.path = []
+        self.arrival_time = 0.0
+        self.departure_time = 0.0
+        self.annotations = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def udp(cls, src, dst, length: int = 64, src_port: int = 1024,
+            dst_port: int = 80, ttl: int = 64,
+            payload: Optional[bytes] = None) -> "Packet":
+        """Build a UDP-in-IPv4-in-Ethernet packet of total frame ``length``."""
+        ip = IPv4Header(src=IPv4Address(src), dst=IPv4Address(dst), ttl=ttl,
+                        proto=PROTO_UDP,
+                        total_length=max(length - ETHERNET_HEADER_BYTES,
+                                         IPV4_MIN_HEADER_BYTES))
+        l4 = UDPHeader(src_port=src_port, dst_port=dst_port,
+                       length=ip.total_length - IPV4_MIN_HEADER_BYTES)
+        eth = EthernetHeader(ethertype=ETHERTYPE_IPV4)
+        return cls(length=length, eth=eth, ip=ip, l4=l4, payload=payload)
+
+    @classmethod
+    def tcp(cls, src, dst, length: int = 64, src_port: int = 1024,
+            dst_port: int = 80, seq: int = 0, ttl: int = 64) -> "Packet":
+        """Build a TCP-in-IPv4-in-Ethernet packet of total frame ``length``."""
+        ip = IPv4Header(src=IPv4Address(src), dst=IPv4Address(dst), ttl=ttl,
+                        proto=PROTO_TCP,
+                        total_length=max(length - ETHERNET_HEADER_BYTES,
+                                         IPV4_MIN_HEADER_BYTES))
+        l4 = TCPHeader(src_port=src_port, dst_port=dst_port, seq=seq)
+        eth = EthernetHeader(ethertype=ETHERTYPE_IPV4)
+        return cls(length=length, eth=eth, ip=ip, l4=l4, payload=None)
+
+    # -- flow identity ----------------------------------------------------
+
+    def five_tuple(self) -> FiveTuple:
+        """The packet's flow key; raises for non-IP packets."""
+        if self.ip is None:
+            raise PacketError("packet %d has no IP header" % self.packet_id)
+        src_port = getattr(self.l4, "src_port", 0)
+        dst_port = getattr(self.l4, "dst_port", 0)
+        return FiveTuple(src=self.ip.src, dst=self.ip.dst,
+                         proto=self.ip.proto, src_port=src_port,
+                         dst_port=dst_port)
+
+    # -- serialization ----------------------------------------------------
+
+    def pack(self) -> bytes:
+        """Serialize headers + payload, padding to the frame length."""
+        parts = [self.eth.pack()]
+        if self.ip is not None:
+            parts.append(self.ip.pack())
+        if self.l4 is not None:
+            parts.append(self.l4.pack())
+        if self.payload is not None:
+            parts.append(self.payload)
+        raw = b"".join(parts)
+        if len(raw) > self.length:
+            raise PacketError(
+                "headers/payload (%d B) exceed frame length %d"
+                % (len(raw), self.length))
+        return raw + b"\x00" * (self.length - len(raw))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Packet":
+        """Parse a full frame; non-IPv4 frames keep only the Ethernet header."""
+        eth = EthernetHeader.unpack(data)
+        ip = None
+        l4 = None
+        payload = None
+        if eth.ethertype == ETHERTYPE_IPV4:
+            ip = IPv4Header.unpack(data[ETHERNET_HEADER_BYTES:])
+            l4_offset = ETHERNET_HEADER_BYTES + ip.header_length()
+            if ip.proto == PROTO_UDP:
+                l4 = UDPHeader.unpack(data[l4_offset:])
+                payload = data[l4_offset + 8:]
+            elif ip.proto == PROTO_TCP:
+                l4 = TCPHeader.unpack(data[l4_offset:])
+                payload = data[l4_offset + 20:]
+            else:
+                payload = data[l4_offset:]
+        packet = cls(length=len(data), eth=eth, ip=ip, l4=l4, payload=payload)
+        return packet
+
+    def copy(self) -> "Packet":
+        """A shallow-ish copy with fresh identity (headers are re-created)."""
+        clone = Packet(self.length,
+                       eth=EthernetHeader(dst=self.eth.dst, src=self.eth.src,
+                                          ethertype=self.eth.ethertype),
+                       ip=None if self.ip is None else IPv4Header(
+                           src=self.ip.src, dst=self.ip.dst, ttl=self.ip.ttl,
+                           proto=self.ip.proto,
+                           total_length=self.ip.total_length,
+                           identification=self.ip.identification,
+                           checksum=self.ip.checksum),
+                       l4=self.l4, payload=self.payload)
+        clone.flow_seq = self.flow_seq
+        return clone
+
+    def __repr__(self):
+        if self.ip is not None:
+            return "<Packet #%d %s->%s len=%d>" % (
+                self.packet_id, self.ip.src, self.ip.dst, self.length)
+        return "<Packet #%d len=%d>" % (self.packet_id, self.length)

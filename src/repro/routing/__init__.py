@@ -1,0 +1,30 @@
+"""IPv4 longest-prefix-match routing substrate.
+
+The paper's IP-routing application performs a longest-prefix-match lookup
+with "the Click distribution's implementation of the D-lookup algorithm
+[Gupta et al.]" over a 256 K-entry table (Sec. 5.1).  This package provides:
+
+* :class:`BinaryTrie` -- a reference bitwise trie (correct by construction,
+  used as the oracle in property tests),
+* :class:`Dir24_8` -- the DIR-24-8-BASIC scheme of Gupta, Lin & McKeown
+  (the "D-lookup" the paper uses): a 2^24-entry first-level table plus
+  overflow second-level tables, giving 1-2 memory probes per lookup,
+* :class:`RoutingTable` -- the facade used by the dataplane, keeping both
+  structures in sync,
+* :func:`generate_rib` -- a synthetic RIB with a realistic prefix-length
+  mix, defaulting to the paper's 256 K entries.
+"""
+
+from .trie import BinaryTrie
+from .dir24_8 import Dir24_8
+from .table import Route, RoutingTable
+from .rib_gen import generate_rib, PREFIX_LENGTH_MIX
+
+__all__ = [
+    "BinaryTrie",
+    "Dir24_8",
+    "Route",
+    "RoutingTable",
+    "generate_rib",
+    "PREFIX_LENGTH_MIX",
+]

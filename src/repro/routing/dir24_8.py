@@ -1,0 +1,218 @@
+"""DIR-24-8-BASIC longest-prefix matching (Gupta, Lin & McKeown, 1998).
+
+This is the "D-lookup algorithm" the paper's IP-routing application uses
+(Sec. 5.1, [34]).  A 2^24-entry first-level table (TBL24) resolves all
+prefixes of length <= 24 in one probe; prefixes longer than 24 bits divert
+the covering TBL24 slot to a 256-entry second-level table, for a worst case
+of two probes.  The structure is what gives hardware-speed lookups at the
+cost of memory -- the exact trade the paper leans on.
+
+The implementation supports incremental insert/remove.  Each table entry
+records the length of the prefix that wrote it, so a shorter (less
+specific) prefix never clobbers a longer one; removals consult a shadow
+:class:`BinaryTrie` to restore the covering route.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import RoutingError
+from ..net.addresses import IPv4Address, Prefix
+from .trie import BinaryTrie
+
+_TBL24_SIZE = 1 << 24
+_EMPTY = -1
+#: TBL24 entries <= _LONG_BASE encode a second-level table id: tid = -(v+2).
+_LONG_BASE = -2
+
+
+class Dir24_8:
+    """DIR-24-8-BASIC with incremental updates.
+
+    Values are arbitrary Python objects (typically next hops); ``None`` is
+    not a legal value since it encodes "no route".
+    """
+
+    def __init__(self):
+        self._tbl24 = np.full(_TBL24_SIZE, _EMPTY, dtype=np.int32)
+        self._depth24 = np.zeros(_TBL24_SIZE, dtype=np.int8)
+        self._long_values = []   # list of np.int32[256]
+        self._long_depths = []   # list of np.int8[256]
+        self._free_long = []     # recycled second-level table ids
+        self._values = []
+        self._value_index = {}
+        self._shadow = BinaryTrie()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- helpers -----------------------------------------------------------
+
+    def _intern(self, value) -> int:
+        if value is None:
+            raise RoutingError("None is not a legal route value")
+        try:
+            index = self._value_index.get(value)
+        except TypeError:  # unhashable values are stored without dedup
+            index = None
+        if index is None:
+            index = len(self._values)
+            self._values.append(value)
+            try:
+                self._value_index[value] = index
+            except TypeError:
+                pass
+        return index
+
+    def _alloc_long(self, fill_value: int, fill_depth: int) -> int:
+        if self._free_long:
+            tid = self._free_long.pop()
+            self._long_values[tid].fill(fill_value)
+            self._long_depths[tid].fill(fill_depth)
+            return tid
+        self._long_values.append(np.full(256, fill_value, dtype=np.int32))
+        self._long_depths.append(np.full(256, fill_depth, dtype=np.int8))
+        return len(self._long_values) - 1
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, prefix: Prefix, value) -> None:
+        """Insert or replace the route for ``prefix``."""
+        vindex = self._intern(value)
+        was_present = self._shadow.contains(prefix)
+        self._shadow.insert(prefix, value)
+        if not was_present:
+            self._size += 1
+        if prefix.length <= 24:
+            self._write_short(prefix, vindex, prefix.length)
+        else:
+            self._write_long(prefix, vindex, prefix.length)
+
+    def remove(self, prefix: Prefix) -> None:
+        """Remove the route for ``prefix``; raises if absent."""
+        self._shadow.remove(prefix)  # raises RoutingError if absent
+        self._size -= 1
+        # Find what now covers the removed range: the longest remaining
+        # prefix *shorter* than the removed one (longer prefixes inside the
+        # range own their own entries and must not be disturbed).
+        cover_prefix, cover_value = self._shadow.lookup_covering(
+            prefix.network, prefix.length - 1)
+        if cover_value is None:
+            cover_index, cover_depth = _EMPTY, 0
+        else:
+            cover_index = self._intern(cover_value)
+            cover_depth = cover_prefix.length
+        if prefix.length <= 24:
+            self._write_short(prefix, cover_index, cover_depth,
+                              overwrite_depth=prefix.length)
+        else:
+            self._write_long(prefix, cover_index, cover_depth,
+                             overwrite_depth=prefix.length)
+
+    def _write_short(self, prefix: Prefix, vindex: int, depth: int,
+                     overwrite_depth: Optional[int] = None) -> None:
+        """Write a <=24-bit prefix across its TBL24 range.
+
+        When ``overwrite_depth`` is given (removal), only entries written by
+        a prefix of exactly that length are rewritten; otherwise entries
+        written by shorter-or-equal prefixes are (insertion semantics).
+        """
+        start = prefix.network.value >> 8
+        count = 1 << (24 - prefix.length)
+        sl = slice(start, start + count)
+        tbl = self._tbl24[sl]
+        dep = self._depth24[sl]
+        if overwrite_depth is None:
+            mask = dep <= depth
+        else:
+            mask = dep == overwrite_depth
+        # Plain slots: write directly.
+        plain = mask & (tbl > _LONG_BASE)
+        tbl[plain] = vindex
+        dep[plain] = depth
+        # Slots diverted to second-level tables: update their default part.
+        diverted = np.nonzero(mask & (tbl <= _LONG_BASE))[0]
+        for offset in diverted:
+            tid = -(int(tbl[offset]) + 2)
+            lvals = self._long_values[tid]
+            ldeps = self._long_depths[tid]
+            if overwrite_depth is None:
+                lmask = ldeps <= depth
+            else:
+                lmask = ldeps == overwrite_depth
+            lvals[lmask] = vindex
+            ldeps[lmask] = depth
+            dep[offset] = depth
+
+    def _write_long(self, prefix: Prefix, vindex: int, depth: int,
+                    overwrite_depth: Optional[int] = None) -> None:
+        """Write a >24-bit prefix into (creating if needed) a level-2 table."""
+        slot = prefix.network.value >> 8
+        entry = int(self._tbl24[slot])
+        if entry > _LONG_BASE:
+            # Divert this slot: seed the new table with the current route.
+            tid = self._alloc_long(entry, int(self._depth24[slot]))
+            self._tbl24[slot] = -(tid + 2)
+        else:
+            tid = -(entry + 2)
+        lvals = self._long_values[tid]
+        ldeps = self._long_depths[tid]
+        start = prefix.network.value & 0xFF
+        count = 1 << (32 - prefix.length)
+        sl = slice(start, start + count)
+        if overwrite_depth is None:
+            lmask = ldeps[sl] <= depth
+        else:
+            lmask = ldeps[sl] == overwrite_depth
+        lvals[sl][lmask] = vindex
+        ldeps[sl][lmask] = depth
+
+    # -- lookups -----------------------------------------------------------
+
+    def lookup(self, address) -> Optional[object]:
+        """Longest-prefix-match ``address``; 1-2 table probes."""
+        addr = int(IPv4Address(address))
+        entry = int(self._tbl24[addr >> 8])
+        if entry >= 0:
+            return self._values[entry]
+        if entry == _EMPTY:
+            return None
+        tid = -(entry + 2)
+        long_entry = int(self._long_values[tid][addr & 0xFF])
+        if long_entry == _EMPTY:
+            return None
+        return self._values[long_entry]
+
+    def lookup_batch(self, addresses: np.ndarray) -> list:
+        """Vectorized lookup of a uint32 array of addresses.
+
+        Returns a list of values (``None`` for misses).  Used by the
+        workload-driven benchmarks, where per-call Python overhead would
+        otherwise dominate.
+        """
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        entries = self._tbl24[(addresses >> np.uint64(8)).astype(np.int64)]
+        out = []
+        for address, entry in zip(addresses, entries):
+            entry = int(entry)
+            if entry >= 0:
+                out.append(self._values[entry])
+            elif entry == _EMPTY:
+                out.append(None)
+            else:
+                tid = -(entry + 2)
+                long_entry = int(self._long_values[tid][int(address) & 0xFF])
+                out.append(None if long_entry == _EMPTY
+                           else self._values[long_entry])
+        return out
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the lookup structures."""
+        total = self._tbl24.nbytes + self._depth24.nbytes
+        for lvals, ldeps in zip(self._long_values, self._long_depths):
+            total += lvals.nbytes + ldeps.nbytes
+        return total

@@ -1,0 +1,106 @@
+"""Synthetic RIB generation.
+
+The paper uses a 256 K-entry routing table, "in keeping with recent
+reports" (Sec. 5.1), and generates packets with random destinations to
+stress lookup cache locality.  We do not have a 2009 BGP table dump, so we
+synthesize one with the well-known prefix-length distribution of Internet
+tables of that era: /24 dominates (~55 %), with mass at /16-/23 and a thin
+tail of short prefixes and a sliver of >24 prefixes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..calibration import ROUTING_TABLE_ENTRIES
+from ..net.addresses import IPv4Address, MACAddress, Prefix
+from .table import Route, RoutingTable
+
+#: (prefix length, share of table).  Shares sum to 1.0; shaped after
+#: published breakdowns of DFZ tables circa 2008-2009.
+PREFIX_LENGTH_MIX: List[Tuple[int, float]] = [
+    (8, 0.0005),
+    (12, 0.002),
+    (14, 0.004),
+    (16, 0.055),
+    (17, 0.020),
+    (18, 0.035),
+    (19, 0.060),
+    (20, 0.065),
+    (21, 0.070),
+    (22, 0.105),
+    (23, 0.090),
+    (24, 0.480),
+    (25, 0.005),
+    (26, 0.004),
+    (27, 0.002),
+    (28, 0.0015),
+    (30, 0.001),
+]
+
+
+def generate_rib(num_entries: int = ROUTING_TABLE_ENTRIES,
+                 num_ports: int = 4,
+                 seed: int = 1,
+                 table: Optional[RoutingTable] = None) -> RoutingTable:
+    """Build a synthetic routing table with a realistic prefix-length mix.
+
+    Prefixes are drawn uniformly from the unicast space (1.0.0.0 --
+    223.255.255.255), deduplicated, and each mapped to one of ``num_ports``
+    next hops round-robin.  Deterministic for a given ``seed``.
+    """
+    if num_entries < 1:
+        raise ValueError("num_entries must be >= 1, got %r" % num_entries)
+    if num_ports < 1:
+        raise ValueError("num_ports must be >= 1, got %r" % num_ports)
+    rng = random.Random(seed)
+    if table is None:
+        table = RoutingTable()
+    next_hops = [
+        Route(port=p,
+              next_hop=IPv4Address((10 << 24) | (p << 8) | 1),
+              next_hop_mac=MACAddress(0x020000000000 | p))
+        for p in range(num_ports)
+    ]
+    lengths, weights = zip(*PREFIX_LENGTH_MIX)
+    seen = set()
+    installed = 0
+    while installed < num_entries:
+        length = rng.choices(lengths, weights=weights)[0]
+        # Unicast space only: first octet in [1, 223].
+        addr = (rng.randint(1, 223) << 24) | rng.getrandbits(24)
+        prefix = Prefix.from_address(addr, length)
+        if prefix in seen:
+            continue
+        seen.add(prefix)
+        table.add_route(prefix, next_hops[installed % num_ports])
+        installed += 1
+    return table
+
+
+def random_destinations(num: int, table: RoutingTable, seed: int = 2,
+                        hit_fraction: float = 1.0) -> List[IPv4Address]:
+    """Random destination addresses, ``hit_fraction`` of which match a route.
+
+    Hits are synthesized by sampling installed prefixes and randomizing the
+    host bits, mirroring the paper's "random destination addresses so as to
+    stress cache locality" (Sec. 5.1).
+    """
+    if not 0.0 <= hit_fraction <= 1.0:
+        raise ValueError("hit_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    prefixes = [p for p, _ in table.routes()]
+    if not prefixes and hit_fraction > 0:
+        raise ValueError("table is empty; cannot synthesize hits")
+    out = []
+    for _ in range(num):
+        if prefixes and rng.random() < hit_fraction:
+            prefix = prefixes[rng.randrange(len(prefixes))]
+            host_bits = 32 - prefix.length
+            addr = prefix.network.value | (
+                rng.getrandbits(host_bits) if host_bits else 0)
+            out.append(IPv4Address(addr))
+        else:
+            out.append(IPv4Address(rng.getrandbits(32)))
+    return out

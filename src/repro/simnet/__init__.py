@@ -1,0 +1,24 @@
+"""A small discrete-event simulation engine.
+
+Drives the packet-level cluster simulation (`repro.core`): an event queue
+with a simulated clock, rate-limited links with propagation delay, bounded
+FIFO queues, seeded random streams, and statistics collectors (counters,
+histograms with percentiles, time series).
+"""
+
+from .engine import Event, Simulator
+from .links import Link
+from .queues import FiniteQueue
+from .rng import RngStreams
+from .stats import Counter, Histogram, TimeSeries
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Link",
+    "FiniteQueue",
+    "RngStreams",
+    "Counter",
+    "Histogram",
+    "TimeSeries",
+]

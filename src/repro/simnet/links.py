@@ -1,0 +1,82 @@
+"""Rate-limited point-to-point links.
+
+A :class:`Link` models a full-duplex cable direction: serialization at the
+link rate, fixed propagation delay, and a bounded output queue.  Internal
+cluster links (server NIC port to server NIC port) and external lines both
+use this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..net.packet import Packet
+from .engine import Simulator
+from .queues import FiniteQueue
+
+
+class Link:
+    """One direction of a cable between two nodes.
+
+    Packets offered while the link is busy wait in a bounded FIFO; overflow
+    is dropped (and counted).  Delivery invokes ``deliver`` at the far end
+    after serialization + propagation.
+    """
+
+    def __init__(self, sim: Simulator, name: str, rate_bps: float,
+                 deliver: Callable[[Packet], None],
+                 propagation_sec: float = 1e-6,
+                 queue_packets: int = 1024):
+        if rate_bps <= 0:
+            raise ConfigurationError("link rate must be positive")
+        if propagation_sec < 0:
+            raise ConfigurationError("propagation delay cannot be negative")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.deliver = deliver
+        self.propagation_sec = propagation_sec
+        self.queue = FiniteQueue(queue_packets, name=name + ".q")
+        self.busy = False
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    def serialization_time(self, packet: Packet) -> float:
+        """Seconds to clock ``packet`` onto the wire."""
+        return packet.length * 8 / self.rate_bps
+
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet to the link; False if the queue overflowed."""
+        if not self.queue.offer(packet):
+            return False
+        if not self.busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        packet = self.queue.poll()
+        if packet is None:
+            self.busy = False
+            return
+        self.busy = True
+        tx_time = self.serialization_time(packet)
+        self.bytes_sent += packet.length
+        self.packets_sent += 1
+        self.sim.schedule(tx_time, self._finish_tx)
+        self.sim.schedule(tx_time + self.propagation_sec,
+                          lambda p=packet: self.deliver(p))
+
+    def _finish_tx(self) -> None:
+        self._start_next()
+
+    def utilization(self, elapsed_sec: float) -> float:
+        """Fraction of link capacity used over ``elapsed_sec``."""
+        if elapsed_sec <= 0:
+            raise ValueError("elapsed time must be positive")
+        return self.bytes_sent * 8 / (self.rate_bps * elapsed_sec)
+
+    def queued_bits(self) -> int:
+        """Bits currently waiting (used by the flowlet spreader's local
+        load estimate)."""
+        return sum(p.length * 8 for p in self.queue._items)

@@ -1,0 +1,117 @@
+"""Statistics collectors: counters, histograms, time series."""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Tuple
+
+
+class Counter:
+    """A named bundle of monotonically increasing counts."""
+
+    def __init__(self):
+        self._counts: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counts)
+
+
+class Histogram:
+    """A value reservoir with exact quantiles (sorted-on-demand)."""
+
+    def __init__(self):
+        self._values: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError("empty histogram")
+        return sum(self._values) / len(self._values)
+
+    def stddev(self) -> float:
+        if len(self._values) < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((v - mu) ** 2 for v in self._values)
+                         / (len(self._values) - 1))
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile (nearest-rank), p in [0, 100]."""
+        if not self._values:
+            raise ValueError("empty histogram")
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        self._ensure_sorted()
+        if p == 0:
+            return self._values[0]
+        rank = max(1, math.ceil(p / 100 * len(self._values)))
+        return self._values[rank - 1]
+
+    def min(self) -> float:
+        self._ensure_sorted()
+        if not self._values:
+            raise ValueError("empty histogram")
+        return self._values[0]
+
+    def max(self) -> float:
+        self._ensure_sorted()
+        if not self._values:
+            raise ValueError("empty histogram")
+        return self._values[-1]
+
+    def cdf_at(self, value: float) -> float:
+        """Fraction of observations <= value."""
+        if not self._values:
+            raise ValueError("empty histogram")
+        self._ensure_sorted()
+        return bisect.bisect_right(self._values, value) / len(self._values)
+
+
+class TimeSeries:
+    """(time, value) samples with windowed rate computation."""
+
+    def __init__(self):
+        self._samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._samples and time < self._samples[-1][0]:
+            raise ValueError("time series must be recorded in order")
+        self._samples.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def samples(self) -> List[Tuple[float, float]]:
+        return list(self._samples)
+
+    def total(self) -> float:
+        return sum(v for _, v in self._samples)
+
+    def rate_over(self, start: float, end: float) -> float:
+        """Sum of values with start < t <= end, divided by the window."""
+        if end <= start:
+            raise ValueError("window must have positive width")
+        acc = sum(v for t, v in self._samples if start < t <= end)
+        return acc / (end - start)

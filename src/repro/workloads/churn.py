@@ -1,0 +1,115 @@
+"""Routing-table churn workloads (BGP-update-style).
+
+Software routers must absorb control-plane churn while forwarding; this
+generator produces update streams against the FIB: announcements of new
+prefixes, re-announcements (next-hop changes), and withdrawals, with the
+announce/withdraw mix and prefix-length distribution of typical BGP feeds.
+Used to exercise DIR-24-8's incremental update path (a classic weakness of
+the scheme is /8 announcements rewriting 64 K first-level slots -- the
+generator includes a tunable share of short prefixes to stress exactly
+that).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ConfigurationError
+from ..net.addresses import IPv4Address, MACAddress, Prefix
+from ..routing.rib_gen import PREFIX_LENGTH_MIX
+from ..routing.table import Route, RoutingTable
+
+
+@dataclass(frozen=True)
+class Update:
+    """One routing update: announce (route set) or withdraw (route None)."""
+
+    prefix: Prefix
+    route: object  # Route or None
+
+    @property
+    def is_withdrawal(self) -> bool:
+        return self.route is None
+
+
+class ChurnGenerator:
+    """Generate a stream of updates against an existing table.
+
+    ``withdraw_fraction`` of updates remove an installed prefix;
+    ``reannounce_fraction`` change an installed prefix's next hop; the
+    rest announce fresh prefixes.  Deterministic per seed.
+    """
+
+    def __init__(self, table: RoutingTable, num_ports: int = 4,
+                 withdraw_fraction: float = 0.3,
+                 reannounce_fraction: float = 0.4, seed: int = 0):
+        if not 0 <= withdraw_fraction <= 1 or not 0 <= reannounce_fraction <= 1:
+            raise ConfigurationError("fractions must be in [0, 1]")
+        if withdraw_fraction + reannounce_fraction > 1:
+            raise ConfigurationError("fractions exceed 1")
+        if num_ports < 1:
+            raise ConfigurationError("need >= 1 port")
+        self.table = table
+        self.num_ports = num_ports
+        self.withdraw_fraction = withdraw_fraction
+        self.reannounce_fraction = reannounce_fraction
+        self.rng = random.Random(seed)
+        self._installed: List[Prefix] = [p for p, _ in table.routes()]
+        self._lengths, self._weights = zip(*PREFIX_LENGTH_MIX)
+
+    def _random_route(self) -> Route:
+        port = self.rng.randrange(self.num_ports)
+        return Route(port=port,
+                     next_hop=IPv4Address((10 << 24) | (port << 8) | 1),
+                     next_hop_mac=MACAddress(0x020000000000 | port))
+
+    def _fresh_prefix(self) -> Prefix:
+        while True:
+            length = self.rng.choices(self._lengths,
+                                      weights=self._weights)[0]
+            addr = (self.rng.randint(1, 223) << 24) | self.rng.getrandbits(24)
+            prefix = Prefix.from_address(addr, length)
+            if not self.table.has_route(prefix):
+                return prefix
+
+    def updates(self, count: int) -> Iterator[Update]:
+        """Yield ``count`` updates (announce / re-announce / withdraw)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        for _ in range(count):
+            roll = self.rng.random()
+            if roll < self.withdraw_fraction and self._installed:
+                index = self.rng.randrange(len(self._installed))
+                prefix = self._installed.pop(index)
+                yield Update(prefix=prefix, route=None)
+            elif roll < self.withdraw_fraction + self.reannounce_fraction \
+                    and self._installed:
+                prefix = self._installed[
+                    self.rng.randrange(len(self._installed))]
+                yield Update(prefix=prefix, route=self._random_route())
+            else:
+                prefix = self._fresh_prefix()
+                self._installed.append(prefix)
+                yield Update(prefix=prefix, route=self._random_route())
+
+    def apply(self, count: int) -> dict:
+        """Apply ``count`` updates to the table; returns operation counts."""
+        stats = {"announced": 0, "reannounced": 0, "withdrawn": 0,
+                 "withdraw_misses": 0}
+        for update in self.updates(count):
+            if update.is_withdrawal:
+                try:
+                    self.table.remove_route(update.prefix)
+                    stats["withdrawn"] += 1
+                except Exception:
+                    stats["withdraw_misses"] += 1
+            else:
+                existed = self.table.has_route(update.prefix)
+                self.table.add_route(update.prefix, update.route)
+                if existed:
+                    stats["reannounced"] += 1
+                else:
+                    stats["announced"] += 1
+        return stats

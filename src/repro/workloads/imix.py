@@ -1,0 +1,86 @@
+"""IMIX packet-size mixtures.
+
+Standard Internet-mix workloads used throughout the router-benchmarking
+literature: the "simple IMIX" (7:4:1 at 64/570/1518 B, mean ~353 B) and a
+small library of named mixes.  These complement the paper's fixed-size and
+Abilene workloads when characterizing the rate-vs-size surface.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import ConfigurationError
+from ..net.addresses import IPv4Address
+from ..net.packet import Packet
+from .synthetic import PacketSource
+
+#: Named (size, weight) mixes; weights need not be normalized.
+MIXES: Dict[str, List[Tuple[int, float]]] = {
+    # The classic simple IMIX: 7 x 64 B, 4 x 570 B, 1 x 1518 B.
+    "simple": [(64, 7), (570, 4), (1518, 1)],
+    # Tomahawk-style IMIX used in some vendor test plans.
+    "cisco": [(64, 0.58), (594, 0.33), (1518, 0.09)],
+    # A worst-case all-minimum mix for stress comparisons.
+    "minimum": [(64, 1)],
+}
+
+
+def mix_mean_bytes(mix: List[Tuple[int, float]]) -> float:
+    """Weighted mean frame size of a mix."""
+    total_weight = sum(weight for _, weight in mix)
+    if total_weight <= 0:
+        raise ConfigurationError("mix weights must sum to > 0")
+    return sum(size * weight for size, weight in mix) / total_weight
+
+
+class ImixWorkload(PacketSource):
+    """Generate packets whose sizes follow a named or custom IMIX."""
+
+    def __init__(self, mix="simple", num_flows: int = 64, seed: int = 0):
+        if isinstance(mix, str):
+            if mix not in MIXES:
+                raise ConfigurationError("unknown mix %r (have %s)"
+                                         % (mix, sorted(MIXES)))
+            mix = MIXES[mix]
+        if not mix or any(size < 64 or weight < 0 for size, weight in mix):
+            raise ConfigurationError("mix entries need size >= 64, weight >= 0")
+        if num_flows < 1:
+            raise ConfigurationError("need >= 1 flow")
+        self.mix = list(mix)
+        self.rng = random.Random(seed)
+        self._sizes, self._weights = zip(*self.mix)
+        self._flows = [(IPv4Address(self.rng.getrandbits(32)),
+                        IPv4Address(self.rng.getrandbits(32)),
+                        1024 + self.rng.randrange(60000), 80)
+                       for _ in range(num_flows)]
+        self._seq = [0] * num_flows
+
+    def mean_packet_bytes(self) -> float:
+        return mix_mean_bytes(self.mix)
+
+    def packets(self, count: int) -> Iterator[Packet]:
+        """Yield ``count`` packets, sizes drawn from the mix."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        for index in range(count):
+            flow = index % len(self._flows)
+            src, dst, sport, dport = self._flows[flow]
+            size = self.rng.choices(self._sizes, weights=self._weights)[0]
+            packet = Packet.udp(src, dst, length=size, src_port=sport,
+                                dst_port=dport)
+            self._seq[flow] += 1
+            packet.flow_seq = self._seq[flow]
+            yield packet
+
+
+def imix_rate_gbps(app_name: str = "forwarding", mix: str = "simple") -> float:
+    """Loss-free rate for an application under a named IMIX (by mean size,
+    exact for the affine cost model)."""
+    from .. import calibration as cal
+    from ..perfmodel.throughput import max_loss_free_rate
+
+    app = cal.APPLICATIONS[app_name]
+    mean = mix_mean_bytes(MIXES[mix] if isinstance(mix, str) else mix)
+    return max_loss_free_rate(app, mean).rate_gbps

@@ -1,0 +1,50 @@
+"""Tests for the DES-measured CPU-load profiler (Sec. 5.3 methodology)."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.analysis.profile import (
+    ProfilePoint,
+    measured_load_is_flat,
+    profile_cpu_load,
+)
+from repro.errors import ConfigurationError
+
+
+class TestProfiler:
+    def test_measured_load_matches_calibration(self):
+        points = profile_cpu_load(offered_gbps=[4, 8])
+        expected = (cal.MINIMAL_FORWARDING.cpu_cycles(64)
+                    + cal.DEFAULT_BOOKKEEPING_CYCLES)
+        for point in points:
+            assert point.measured_cycles_per_packet == pytest.approx(
+                expected, rel=0.02)
+
+    def test_load_flat_across_rates(self):
+        # The paper's conclusion 4: per-packet load constant in rate.
+        points = profile_cpu_load(offered_gbps=[2, 5, 8])
+        assert measured_load_is_flat(points)
+
+    def test_raw_utilization_always_full(self):
+        # Click polls continuously: raw CPU utilization is ~100 % at every
+        # offered rate -- which is exactly why the correction is needed.
+        for point in profile_cpu_load(offered_gbps=[2, 8]):
+            assert point.raw_cpu_utilization == pytest.approx(1.0, abs=0.02)
+
+    def test_empty_polls_fall_with_rate(self):
+        low, high = profile_cpu_load(offered_gbps=[2, 8])
+        assert high.empty_poll_fraction < low.empty_poll_fraction
+
+    def test_no_batching_measures_higher_cost(self):
+        batched = profile_cpu_load(offered_gbps=[1])[0]
+        unbatched = profile_cpu_load(offered_gbps=[1], kp=1, kn=1)[0]
+        assert unbatched.measured_cycles_per_packet > \
+            3 * batched.measured_cycles_per_packet
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            profile_cpu_load(offered_gbps=[])
+        with pytest.raises(ConfigurationError):
+            profile_cpu_load(offered_gbps=[-1])
+        with pytest.raises(ConfigurationError):
+            measured_load_is_flat([ProfilePoint(1, 1, 1, 1)])

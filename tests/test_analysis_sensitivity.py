@@ -1,0 +1,56 @@
+"""Tests for the calibration-sensitivity analysis."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.analysis.sensitivity import (
+    all_conclusions_hold,
+    conclusions_at,
+    perturbed_app,
+    robustness_sweep,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPerturbation:
+    def test_scaling_applies(self):
+        doubled = perturbed_app(cal.MINIMAL_FORWARDING, cpu_factor=2.0)
+        assert doubled.cpu_cycles(64) == pytest.approx(
+            2 * cal.MINIMAL_FORWARDING.cpu_cycles(64))
+        assert doubled.mem_bytes(64) == pytest.approx(
+            cal.MINIMAL_FORWARDING.mem_bytes(64))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            perturbed_app(cal.MINIMAL_FORWARDING, cpu_factor=0)
+
+
+class TestConclusions:
+    def test_baseline_all_hold(self):
+        conclusions = conclusions_at()
+        assert all(conclusions.values())
+
+    def test_conclusions_survive_20_percent_error(self):
+        """The paper's qualitative story tolerates +-20 % calibration
+        error on every cost axis independently."""
+        rows = robustness_sweep(factors=[0.8, 1.0, 1.2])
+        assert all_conclusions_hold(rows)
+
+    def test_extreme_cpu_inflation_breaks_nic_conclusion(self):
+        """Sanity that the harness can detect a broken conclusion: with
+        3x CPU cost, Abilene forwarding becomes CPU-bound, not
+        NIC-limited."""
+        conclusions = conclusions_at(cpu_factor=3.5)
+        assert not conclusions["nic_limited_abilene"]
+
+    def test_extreme_memory_cut_breaks_next_gen_crossover(self):
+        """Halving memory cost moves the next-gen routing bottleneck back
+        to the CPU -- the crossover really does hinge on the memory
+        calibration."""
+        conclusions = conclusions_at(mem_factor=0.5)
+        assert not conclusions["routing_memory_bound_next_gen"]
+
+    def test_sweep_shape(self):
+        rows = robustness_sweep(factors=[1.0])
+        assert len(rows) == 3
+        assert {row["axis"] for row in rows} == {"cpu", "mem", "io"}

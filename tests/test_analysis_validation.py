@@ -1,0 +1,37 @@
+"""Tests for the analytic-vs-DES cross-validation harness."""
+
+import pytest
+
+from repro.analysis.validation import (
+    ValidationPoint,
+    max_relative_error,
+    validate_forwarding,
+)
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_models_agree_on_default_grid(self):
+        points = validate_forwarding(
+            grid=[(32, 16, 64), (1, 1, 64)], tolerance_bps=0.3e9)
+        assert max_relative_error(points) < 0.12
+
+    def test_point_fields(self):
+        (point,) = validate_forwarding(grid=[(32, 16, 64)],
+                                       tolerance_bps=0.5e9)
+        assert point.kp == 32 and point.kn == 16
+        assert point.analytic_gbps == pytest.approx(9.77, rel=0.01)
+        assert point.simulated_gbps > 0
+
+    def test_relative_error_math(self):
+        point = ValidationPoint(kp=1, kn=1, packet_bytes=64,
+                                analytic_gbps=10.0, simulated_gbps=9.0)
+        assert point.relative_error == pytest.approx(0.1)
+        degenerate = ValidationPoint(kp=1, kn=1, packet_bytes=64,
+                                     analytic_gbps=0.0, simulated_gbps=1.0)
+        with pytest.raises(ConfigurationError):
+            degenerate.relative_error
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_relative_error([])

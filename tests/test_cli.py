@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "RB4-R" in out
+
+    def test_experiments_run_one(self, capsys):
+        assert main(["experiments", "T1"]) == 0
+        out = capsys.readouterr().out
+        assert "9.77" in out
+
+    def test_experiments_unknown(self, capsys):
+        assert main(["experiments", "Z9"]) == 2
+
+    def test_plan(self, capsys):
+        assert main(["plan", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "KAryNFly" in out
+        assert "switched" in out
+
+    def test_server(self, capsys):
+        assert main(["server", "--app", "ipsec", "--size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "1.40 Gbps" in out
+        assert "cpu" in out
+
+    def test_server_next_gen(self, capsys):
+        assert main(["server", "--app", "routing", "--spec", "next-gen",
+                     "--no-nic-limit"]) == 0
+        out = capsys.readouterr().out
+        assert "memory" in out
+
+    def test_rb4(self, capsys):
+        assert main(["rb4"]) == 0
+        out = capsys.readouterr().out
+        assert "12.00" in out
+        assert "47.6" in out
+
+    def test_trace_generate_and_info(self, capsys, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        assert main(["trace", "generate", path, "--packets", "500"]) == 0
+        assert main(["trace", "info", path]) == 0
+        out = capsys.readouterr().out
+        assert "500 packets" in out
+
+    def test_experiments_summary(self, capsys):
+        assert main(["experiments", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "RB4 throughput" in out
+        assert "ratio" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "worst disagreement" in out
+
+    def test_power(self, capsys):
+        assert main(["power", "--servers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "2.60 kW" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,123 @@
+"""Tests for the Click configuration-language parser."""
+
+import pytest
+
+from repro.click.config import (
+    ElementRegistry,
+    default_registry,
+    parse_config,
+    tokenize,
+)
+from repro.click.elements.standard import CounterElement
+from repro.errors import ConfigurationError
+from repro.net import Packet
+
+
+def _udp(length=64):
+    return Packet.udp("10.0.0.1", "10.0.0.2", length=length)
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("a :: B(1, 2); a -> [0] c;")
+        kinds = [k for k, _ in tokens]
+        assert "dcolon" in kinds and "arrow" in kinds and "port" in kinds
+
+    def test_comments_stripped(self):
+        tokens = tokenize("// comment\n a :: B; /* multi\nline */ ;")
+        assert all(value != "comment" for _, value in tokens)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            tokenize("a :: B; $$$")
+
+
+class TestParsing:
+    def test_declaration_and_chain(self):
+        graph = parse_config("""
+            c :: Counter;
+            c -> Discard;
+        """)
+        assert "c" in graph
+        graph["c"].receive(_udp())
+        assert graph["c"].count == 1
+
+    def test_chain_with_ports(self):
+        graph = parse_config("""
+            t :: Tee(2);
+            a :: Counter;
+            b :: Counter;
+            t [0] -> a -> Discard;
+            t [1] -> b -> Discard;
+        """)
+        graph["t"].receive(_udp())
+        assert graph["a"].count == 1
+        assert graph["b"].count == 1
+
+    def test_anonymous_elements(self):
+        graph = parse_config("Counter -> Counter -> Discard;",
+                             validate=True)
+        counters = [e for e in graph.elements()
+                    if isinstance(e, CounterElement)]
+        assert len(counters) == 2
+
+    def test_args_parsed(self):
+        graph = parse_config("""
+            q :: Queue(5);
+            q -> Discard;  // note: Queue is pull; wiring is formal here
+        """, validate=False)
+        assert graph["q"].fifo.capacity == 5
+
+    def test_sampling_pipeline_behaves(self):
+        graph = parse_config("""
+            s :: RandomSample(0.5);
+            c :: Counter;
+            s -> c -> Discard;
+        """)
+        for _ in range(1000):
+            graph["s"].receive(_udp())
+        assert 350 < graph["c"].count < 650
+
+    def test_validation_catches_dangling(self):
+        with pytest.raises(ConfigurationError):
+            parse_config("c :: Counter;")
+
+    def test_undeclared_element(self):
+        with pytest.raises(ConfigurationError):
+            parse_config("a -> Discard;")
+
+    def test_unknown_class(self):
+        with pytest.raises(ConfigurationError):
+            parse_config("x :: Warp9; x -> Discard;")
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(ConfigurationError):
+            parse_config("a :: Counter; a :: Counter; a -> Discard;")
+
+    def test_multiline_comment_spanning_statements(self):
+        graph = parse_config("""
+            a :: Counter; /* the
+            whole thing */ a -> Discard;
+        """)
+        assert "a" in graph
+
+
+class TestRegistry:
+    def test_custom_registration(self):
+        registry = default_registry()
+
+        class Mine(CounterElement):
+            pass
+
+        registry.register("Mine", lambda args, name: Mine(name=name))
+        graph = parse_config("m :: Mine; m -> Discard;", registry=registry)
+        assert isinstance(graph["m"], Mine)
+
+    def test_double_registration_rejected(self):
+        registry = default_registry()
+        with pytest.raises(ConfigurationError):
+            registry.register("Discard", lambda args, name: None)
+
+    def test_contains(self):
+        assert "Discard" in default_registry()
+        assert "Nope" not in default_registry()

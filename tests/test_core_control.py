@@ -1,0 +1,118 @@
+"""Tests for the cluster control plane (membership + FIB distribution)."""
+
+import pytest
+
+from repro.core.control import ClusterManager
+from repro.errors import ConfigurationError, TopologyError
+from repro.net import IPv4Address
+
+
+@pytest.fixture
+def cluster():
+    manager = ClusterManager()
+    for port in range(4):
+        manager.add_node(external_port=port)
+    manager.announce("10.0.0.0/16", 0)
+    manager.announce("10.1.0.0/16", 1)
+    manager.announce("10.2.0.0/16", 2)
+    manager.announce("10.3.0.0/16", 3)
+    manager.push_fibs()
+    return manager
+
+
+class TestMembership:
+    def test_add_nodes(self, cluster):
+        assert cluster.num_nodes == 4
+        assert cluster.nodes() == [0, 1, 2, 3]
+
+    def test_duplicate_port_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            cluster.add_node(external_port=2)
+
+    def test_mesh_links_complete(self, cluster):
+        links = cluster.mesh_links()
+        assert len(links) == 12
+        assert (0, 0) not in links
+
+    def test_internal_link_rate_falls_with_growth(self, cluster):
+        before = cluster.internal_link_rate_bps()
+        cluster.add_node(external_port=9)
+        assert cluster.internal_link_rate_bps() < before
+
+    def test_capacity_grows_linearly(self, cluster):
+        assert cluster.capacity_bps() == 40e9
+        cluster.add_node(external_port=9)
+        assert cluster.capacity_bps() == 50e9
+
+    def test_remove_node(self, cluster):
+        cluster.remove_node(3)
+        assert cluster.num_nodes == 3
+        with pytest.raises(ConfigurationError):
+            cluster.remove_node(3)
+
+    def test_tiny_mesh_link_rate_rejected(self):
+        manager = ClusterManager()
+        manager.add_node(0)
+        with pytest.raises(TopologyError):
+            manager.internal_link_rate_bps()
+
+
+class TestFibDistribution:
+    def test_all_nodes_get_identical_answers(self, cluster):
+        probes = [IPv4Address("10.%d.9.9" % i) for i in range(4)]
+        assert cluster.check_consistency(probes)
+        for node in cluster.nodes():
+            fib = cluster.fib_of(node)
+            assert fib.lookup("10.2.5.5").port == 2
+
+    def test_fib_routes_point_at_node_ids(self, cluster):
+        fib = cluster.fib_of(0)
+        # Port 3's owner is node 3 in this setup.
+        assert fib.lookup("10.3.1.1").port == 3
+
+    def test_announce_bumps_version_and_marks_stale(self, cluster):
+        assert cluster.stale_nodes() == []
+        cluster.announce("172.16.0.0/16", 2)
+        assert cluster.stale_nodes() == [0, 1, 2, 3]
+        assert not cluster.check_consistency([IPv4Address("172.16.1.1")])
+        cluster.push_fibs()
+        assert cluster.stale_nodes() == []
+        assert cluster.check_consistency([IPv4Address("172.16.1.1")])
+
+    def test_withdraw(self, cluster):
+        cluster.withdraw("10.3.0.0/16")
+        cluster.push_fibs()
+        assert cluster.fib_of(0).lookup("10.3.1.1") is None
+        with pytest.raises(ConfigurationError):
+            cluster.withdraw("10.3.0.0/16")
+
+    def test_orphaned_routes_excluded(self, cluster):
+        cluster.remove_node(3)
+        cluster.push_fibs()
+        # Port 3's prefix has no owner: not in the FIB.
+        assert cluster.fib_of(0).lookup("10.3.1.1") is None
+
+    def test_announce_unowned_port_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            cluster.announce("192.168.0.0/16", 77)
+
+    def test_fib_before_push_rejected(self):
+        manager = ClusterManager()
+        manager.add_node(0)
+        with pytest.raises(ConfigurationError):
+            manager.fib_of(0)
+
+
+class TestGrowWhileRouting:
+    def test_add_server_add_port_story(self, cluster):
+        """The Sec. 2 extensibility claim as a scenario: add a server,
+        announce its port's prefixes, push, and the whole cluster routes
+        to it."""
+        new_node = cluster.add_node(external_port=4)
+        cluster.announce("10.4.0.0/16", 4)
+        cluster.push_fibs()
+        probes = [IPv4Address("10.4.2.2")]
+        assert cluster.check_consistency(probes)
+        for node in cluster.nodes():
+            assert cluster.fib_of(node).lookup("10.4.2.2").port == new_node
+        assert cluster.capacity_bps() == 50e9

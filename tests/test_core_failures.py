@@ -1,0 +1,60 @@
+"""Failure handling in the cluster DES: routing around dead cables with
+purely local information (a property VLB's design makes natural)."""
+
+import pytest
+
+from repro.core import RouteBricksRouter
+from repro.errors import ConfigurationError
+from repro.workloads import FixedSizeWorkload
+
+
+def _events(num_nodes=4, packets=1200, ingress=0, egress=1, seed=7):
+    workload = FixedSizeWorkload(packet_bytes=740, num_flows=32, seed=seed)
+    gap = 1e-6
+    return [(index * gap, ingress, egress, packet)
+            for index, packet in enumerate(workload.packets(packets))]
+
+
+class TestFailedLinks:
+    def test_direct_link_down_traffic_detours(self):
+        router = RouteBricksRouter(seed=1)
+        report = router.simulate(_events(), failed_links=[(0, 1)])
+        # Everything still arrives -- via intermediates.
+        assert report.delivered_packets == report.offered_packets
+        assert report.indirect_packets == report.offered_packets
+        assert report.direct_packets == 0
+
+    def test_no_failure_baseline_goes_direct(self):
+        router = RouteBricksRouter(seed=1)
+        report = router.simulate(_events())
+        assert report.indirect_packets == 0
+
+    def test_two_dead_links_still_one_path_left(self):
+        router = RouteBricksRouter(seed=2)
+        report = router.simulate(
+            _events(), failed_links=[(0, 1), (0, 2)])
+        # Only the 0->3->1 path remains.
+        assert report.delivered_packets == report.offered_packets
+        stats = {s["node"]: s for s in report.node_stats}
+        assert stats[3]["intermediate"] == report.offered_packets
+
+    def test_transit_committed_to_dead_hop_drops(self):
+        # Force the path 0 -> 2 -> 1 while 2 -> 1 is dead: node 0 cannot
+        # know, so packets are lost at node 2.
+        router = RouteBricksRouter(seed=3)
+        report = router.simulate(
+            _events(), failed_links=[(0, 1), (0, 3), (2, 1)])
+        assert report.dropped_packets == report.offered_packets
+        assert report.delivered_packets == 0
+
+    def test_failure_costs_latency(self):
+        baseline = RouteBricksRouter(seed=4).simulate(_events())
+        detoured = RouteBricksRouter(seed=4).simulate(
+            _events(), failed_links=[(0, 1)])
+        assert detoured.latency_usec.percentile(50) > \
+            baseline.latency_usec.percentile(50)
+
+    def test_bad_link_spec_rejected(self):
+        router = RouteBricksRouter()
+        with pytest.raises(ConfigurationError):
+            router.simulate(_events(packets=1), failed_links=[(0, 9)])

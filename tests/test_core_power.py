@@ -1,0 +1,75 @@
+"""Tests for the power-management model (Sec. 8)."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.core.power import (
+    POWER_SHARES,
+    SERVER_POWER_W,
+    cluster_power_kw,
+    component_utilizations,
+    managed_power,
+)
+from repro.errors import ConfigurationError
+
+
+class TestUtilizations:
+    def test_cpu_full_at_saturation(self):
+        utils = component_utilizations(cal.MINIMAL_FORWARDING, 64)
+        assert utils["cpu"] == pytest.approx(1.0)
+        assert utils["memory"] < 0.5
+        assert utils["fixed"] == 1.0
+
+    def test_scale_with_offered_fraction(self):
+        half = component_utilizations(cal.MINIMAL_FORWARDING, 64,
+                                      offered_fraction=0.5)
+        assert half["cpu"] == pytest.approx(0.5)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            component_utilizations(cal.MINIMAL_FORWARDING, 64,
+                                   offered_fraction=0)
+
+
+class TestManagedPower:
+    def test_shares_sum_to_one(self):
+        assert sum(POWER_SHARES.values()) == pytest.approx(1.0)
+
+    def test_saturation_still_saves_on_idle_buses(self):
+        estimate = managed_power(cal.MINIMAL_FORWARDING, 64)
+        # CPU pegged but memory/I/O mostly idle: real savings exist.
+        assert 0.05 < estimate.savings_fraction < 0.35
+        assert estimate.managed_w < SERVER_POWER_W
+
+    def test_light_load_saves_more(self):
+        busy = managed_power(cal.MINIMAL_FORWARDING, 64,
+                             offered_fraction=1.0)
+        light = managed_power(cal.MINIMAL_FORWARDING, 64,
+                              offered_fraction=0.2)
+        assert light.managed_w < busy.managed_w
+
+    def test_memory_hungry_app_saves_less_on_memory(self):
+        fwd = managed_power(cal.MINIMAL_FORWARDING, 64)
+        rtr = managed_power(cal.IP_ROUTING, 64)
+        assert rtr.component_w["memory"] > fwd.component_w["memory"]
+
+    def test_components_never_exceed_budget(self):
+        estimate = managed_power(cal.IPSEC, 64)
+        for component, draw in estimate.component_w.items():
+            assert draw <= SERVER_POWER_W * POWER_SHARES[component] + 1e-9
+
+
+class TestClusterPower:
+    def test_unmanaged_matches_rb4(self):
+        # 4 x 650 W = 2.6 kW, the Sec. 8 figure.
+        assert cluster_power_kw(4, cal.MINIMAL_FORWARDING,
+                                managed=False) == pytest.approx(2.6)
+
+    def test_managed_below_unmanaged(self):
+        managed = cluster_power_kw(4, cal.MINIMAL_FORWARDING,
+                                   offered_fraction=0.5)
+        assert managed < 2.6
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ConfigurationError):
+            cluster_power_kw(0, cal.MINIMAL_FORWARDING)

@@ -1,0 +1,85 @@
+"""Cluster scaling tests: the paper's headline claim that capacity grows
+linearly with servers (Sec. 1-2), checked on the analytic model and the
+packet-level DES at several cluster sizes."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.core import RouteBricksRouter
+from repro.workloads import FixedSizeWorkload
+
+
+class TestLinearScaling:
+    def test_aggregate_throughput_linear_in_nodes(self):
+        """Doubling the cluster doubles aggregate capacity (same per-port
+        rate), for both the CPU-bound and NIC-bound workloads."""
+        for packet_bytes in (64, cal.ABILENE_MEAN_PACKET_BYTES):
+            per_port = {}
+            for n in (4, 8, 16):
+                result = RouteBricksRouter(num_nodes=n).max_throughput(
+                    packet_bytes)
+                per_port[n] = result.per_port_bps
+            # Per-port rate roughly constant => aggregate linear in N.
+            rates = list(per_port.values())
+            assert max(rates) / min(rates) < 1.25
+
+    def test_per_port_rate_improves_slightly_with_n(self):
+        """Larger meshes spread internal traffic thinner (share 1/(N-1)),
+        easing the NIC ceiling -- per-port Abilene rate grows with N."""
+        small = RouteBricksRouter(num_nodes=4).max_throughput(740)
+        large = RouteBricksRouter(num_nodes=8).max_throughput(740)
+        assert large.per_port_bps >= small.per_port_bps
+
+    def test_worst_case_penalty_constant_in_n(self):
+        """The VLB tax (uniform vs worst-case ratio) does not grow with
+        cluster size -- the property that makes the design scale."""
+        ratios = []
+        for n in (4, 8, 16):
+            router = RouteBricksRouter(num_nodes=n)
+            uniform = router.max_throughput(64, uniform=True)
+            worst = router.max_throughput(64, uniform=False)
+            ratios.append(uniform.aggregate_bps / worst.aggregate_bps)
+        assert max(ratios) - min(ratios) < 0.2
+        assert all(1.0 < ratio < 1.6 for ratio in ratios)
+
+
+class TestLargerClusterSimulation:
+    def _events(self, num_nodes, packets=2400, seed=5):
+        workload = FixedSizeWorkload(packet_bytes=740, num_flows=96,
+                                     seed=seed)
+        events = []
+        gap = 1e-6
+        for index, packet in enumerate(workload.packets(packets)):
+            ingress = index % num_nodes
+            egress = (ingress + 1 + (index // num_nodes) % (num_nodes - 1)) \
+                % num_nodes
+            events.append((index * gap, ingress, egress, packet))
+        return events
+
+    def test_eight_node_mesh_delivers_everything(self):
+        router = RouteBricksRouter(num_nodes=8, seed=2)
+        report = router.simulate(self._events(8))
+        assert report.delivered_packets == report.offered_packets
+        assert report.dropped_packets == 0
+
+    def test_traffic_spread_across_all_nodes(self):
+        router = RouteBricksRouter(num_nodes=8, seed=2)
+        report = router.simulate(self._events(8))
+        ingresses = [stats["ingress"] for stats in report.node_stats]
+        assert min(ingresses) > 0
+        assert max(ingresses) - min(ingresses) <= 1
+
+    def test_sixteen_node_mesh_functional(self):
+        router = RouteBricksRouter(num_nodes=16, seed=3)
+        report = router.simulate(self._events(16, packets=1600))
+        assert report.delivered_packets == report.offered_packets
+
+    def test_latency_does_not_grow_with_mesh_size(self):
+        """Full-mesh paths are 2-3 servers regardless of N (Sec. 3.3's
+        latency argument for the mesh)."""
+        small_report = RouteBricksRouter(num_nodes=4, seed=4).simulate(
+            self._events(4, packets=800))
+        large_report = RouteBricksRouter(num_nodes=16, seed=4).simulate(
+            self._events(16, packets=800))
+        assert large_report.latency_usec.percentile(50) == pytest.approx(
+            small_report.latency_usec.percentile(50), rel=0.15)

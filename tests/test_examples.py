@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public surface; these tests execute each one
+in-process (with argv pinned) and sanity-check its output.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name, argv=None):
+    out = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        with redirect_stdout(out):
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return out.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "Saturation rates" in out
+        assert "9.77 Gbps" in out
+
+    def test_topology_planner(self):
+        out = _run("topology_planner.py", ["64"])
+        assert "N=64" in out
+        assert "100% throughput: True" in out
+
+    def test_bottleneck_explorer(self):
+        out = _run("bottleneck_explorer.py")
+        assert "cpu-bound" in out or "cpu" in out
+        assert "packet-size sweep" in out
+
+    def test_vpn_gateway(self):
+        out = _run("vpn_gateway.py")
+        assert "decrypted and verified 25/25" in out
+
+    def test_custom_application(self):
+        out = _run("custom_application.py")
+        assert "dpi" in out
+        assert "Single-server saturation" in out
+
+    def test_growing_router(self):
+        out = _run("growing_router.py")
+        assert "RB4 (4 servers)" in out
+        assert "consistent" in out
+
+    @pytest.mark.slow
+    def test_ip_router_cluster(self):
+        out = _run("ip_router_cluster.py")
+        assert "cluster throughput" in out
+        assert "delivered" in out
+
+    @pytest.mark.slow
+    def test_trace_replay(self, tmp_path):
+        out = _run("trace_replay.py", [str(tmp_path / "t.pcap")])
+        assert "flowlets" in out
+        assert "per-packet" in out

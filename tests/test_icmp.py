@@ -1,0 +1,111 @@
+"""Tests for ICMP generation and the error-generator element."""
+
+import pytest
+
+from repro.click import Discard
+from repro.click.elements.icmp import IcmpErrorGenerator
+from repro.errors import ConfigurationError, PacketError
+from repro.net import IPv4Address, Packet
+from repro.net.checksum import verify_checksum
+from repro.net.icmp import (
+    IcmpHeader,
+    TYPE_DEST_UNREACHABLE,
+    TYPE_TIME_EXCEEDED,
+    destination_unreachable,
+    parse_icmp,
+    time_exceeded,
+)
+
+
+class TestIcmpCodec:
+    def test_header_round_trip(self):
+        header = IcmpHeader(icmp_type=11, code=0, rest=0)
+        raw = header.pack(b"payload")
+        again = IcmpHeader.unpack(raw)
+        assert again.icmp_type == 11
+        assert again.checksum == header.checksum
+
+    def test_checksum_covers_payload(self):
+        raw = IcmpHeader(icmp_type=11).pack(b"abcdef")
+        assert verify_checksum(raw)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(PacketError):
+            IcmpHeader.unpack(b"\x0b\x00\x00")
+
+
+class TestErrorGeneration:
+    def test_time_exceeded_addressing(self):
+        offending = Packet.udp("10.5.5.5", "10.9.9.9", length=200, ttl=1)
+        router = IPv4Address("192.88.0.1")
+        error = time_exceeded(offending, router)
+        assert error.ip.src == router
+        assert error.ip.dst == offending.ip.src
+        assert error.ip.proto == 1
+        assert parse_icmp(error).icmp_type == TYPE_TIME_EXCEEDED
+
+    def test_unreachable_quotes_offender(self):
+        offending = Packet.udp("10.5.5.5", "99.9.9.9", length=128,
+                               src_port=4242)
+        error = destination_unreachable(offending, IPv4Address("192.88.0.1"))
+        header = parse_icmp(error)
+        assert header.icmp_type == TYPE_DEST_UNREACHABLE
+        # RFC 792: quoted bytes include the offender's IP header (whose
+        # source address must appear inside the ICMP payload).
+        assert offending.ip.src.to_bytes() in error.payload
+
+    def test_non_ip_rejected(self):
+        with pytest.raises(PacketError):
+            time_exceeded(Packet(length=64), IPv4Address(1))
+
+    def test_parse_rejects_non_icmp(self):
+        with pytest.raises(PacketError):
+            parse_icmp(Packet.udp("1.1.1.1", "2.2.2.2"))
+
+
+class TestIcmpElement:
+    def _generator(self, kind="time-exceeded", rate=1000.0, burst=2):
+        gen = IcmpErrorGenerator(IPv4Address("192.88.0.1"), kind,
+                                 rate_pps=rate, burst=burst)
+        sink = []
+
+        class Sink(Discard):
+            def process(self, packet, port):
+                sink.append(packet)
+
+        gen.connect_to(Sink(name="sink-%s" % kind))
+        return gen, sink
+
+    def test_generates_errors(self):
+        gen, sink = self._generator()
+        gen.receive(Packet.udp("10.0.0.1", "10.0.0.2", ttl=1))
+        assert len(sink) == 1
+        assert sink[0].annotations["icmp_type"] == TYPE_TIME_EXCEEDED
+        assert gen.generated == 1
+
+    def test_rate_limit_suppresses(self):
+        gen, sink = self._generator(burst=2)
+        for _ in range(10):
+            gen.receive(Packet.udp("10.0.0.1", "10.0.0.2", ttl=1))
+        assert len(sink) == 2  # burst exhausted, clock never advanced
+        assert gen.suppressed == 8
+
+    def test_tokens_refill_with_time(self):
+        gen, sink = self._generator(rate=1000.0, burst=1)
+        gen.receive(Packet.udp("10.0.0.1", "10.0.0.2"))
+        gen.receive(Packet.udp("10.0.0.1", "10.0.0.2"))
+        assert len(sink) == 1
+        gen.now = 0.01  # 10 ms -> 10 new tokens (capped at burst=1)
+        gen.receive(Packet.udp("10.0.0.1", "10.0.0.2"))
+        assert len(sink) == 2
+
+    def test_non_ip_suppressed(self):
+        gen, sink = self._generator()
+        gen.receive(Packet(length=64))
+        assert sink == []
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            IcmpErrorGenerator(IPv4Address(1), "bogus")
+        with pytest.raises(ConfigurationError):
+            IcmpErrorGenerator(IPv4Address(1), "unreachable", rate_pps=0)

@@ -1,0 +1,122 @@
+"""Tests for header codecs and checksums."""
+
+import pytest
+
+from repro.errors import PacketError
+from repro.net import (
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    IPv4Address,
+    IPv4Header,
+    MACAddress,
+    TCPHeader,
+    UDPHeader,
+    internet_checksum,
+)
+from repro.net.checksum import (
+    incremental_checksum_update,
+    ttl_decrement_checksum,
+    verify_checksum,
+)
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # RFC 1071 worked example: 0001 f203 f4f5 f6f7 -> checksum 220d.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00" * 8) == 0xFFFF
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_verify_packed_ipv4_header(self):
+        header = IPv4Header(src=IPv4Address("1.2.3.4"),
+                            dst=IPv4Address("5.6.7.8"), total_length=40)
+        raw = header.pack()
+        assert verify_checksum(raw)
+
+    def test_incremental_update_matches_full_recompute(self):
+        header = IPv4Header(src=IPv4Address("1.2.3.4"),
+                            dst=IPv4Address("5.6.7.8"), ttl=64,
+                            total_length=100)
+        packed = header.pack()  # sets header.checksum
+        updated = ttl_decrement_checksum(header.checksum, header.ttl,
+                                         header.proto)
+        header.ttl -= 1
+        repacked = header.pack()  # full recompute
+        assert updated == header.checksum
+        assert verify_checksum(repacked)
+        assert packed != repacked
+
+    def test_incremental_update_identity(self):
+        # Replacing a word with itself must leave the checksum unchanged.
+        assert incremental_checksum_update(0x1234, 0xABCD, 0xABCD) == 0x1234
+
+    def test_incremental_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            incremental_checksum_update(-1, 0, 0)
+        with pytest.raises(ValueError):
+            incremental_checksum_update(0, 0x10000, 0)
+        with pytest.raises(ValueError):
+            ttl_decrement_checksum(0, 0, 6)
+
+
+class TestEthernetHeader:
+    def test_pack_unpack_round_trip(self):
+        header = EthernetHeader(dst=MACAddress("aa:bb:cc:dd:ee:ff"),
+                                src=MACAddress("02:00:00:00:00:01"),
+                                ethertype=ETHERTYPE_IPV4)
+        again = EthernetHeader.unpack(header.pack())
+        assert again == header
+
+    def test_truncated(self):
+        with pytest.raises(PacketError):
+            EthernetHeader.unpack(b"\x00" * 13)
+
+
+class TestIPv4Header:
+    def test_pack_unpack_round_trip(self):
+        header = IPv4Header(src=IPv4Address("10.0.0.1"),
+                            dst=IPv4Address("10.0.0.2"),
+                            ttl=17, proto=6, total_length=1500,
+                            identification=0x1234)
+        again = IPv4Header.unpack(header.pack())
+        assert again == header
+
+    def test_rejects_non_ipv4(self):
+        raw = bytearray(IPv4Header().pack())
+        raw[0] = (6 << 4) | 5  # version 6
+        with pytest.raises(PacketError):
+            IPv4Header.unpack(bytes(raw))
+
+    def test_rejects_options(self):
+        raw = bytearray(IPv4Header().pack())
+        raw[0] = (4 << 4) | 6  # ihl 6
+        with pytest.raises(PacketError):
+            IPv4Header.unpack(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(PacketError):
+            IPv4Header.unpack(b"\x45" + b"\x00" * 10)
+
+
+class TestL4Headers:
+    def test_udp_round_trip(self):
+        header = UDPHeader(src_port=1234, dst_port=53, length=28)
+        assert UDPHeader.unpack(header.pack()) == header
+
+    def test_tcp_round_trip(self):
+        header = TCPHeader(src_port=80, dst_port=54321, seq=0xDEADBEEF,
+                           ack=42, flags=0x18, window=8192)
+        assert TCPHeader.unpack(header.pack()) == header
+
+    def test_udp_truncated(self):
+        with pytest.raises(PacketError):
+            UDPHeader.unpack(b"\x00" * 7)
+
+    def test_tcp_truncated(self):
+        with pytest.raises(PacketError):
+            TCPHeader.unpack(b"\x00" * 19)

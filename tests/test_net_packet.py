@@ -1,0 +1,111 @@
+"""Tests for the Packet object and flow identification."""
+
+import pytest
+
+from repro.errors import PacketError
+from repro.net import FiveTuple, IPv4Address, Packet, rss_hash
+from repro.net.flows import queue_for_flow
+from repro.net.headers import PROTO_TCP, PROTO_UDP
+
+
+class TestPacketConstruction:
+    def test_udp_factory(self):
+        packet = Packet.udp("10.0.0.1", "10.0.0.2", length=128,
+                            src_port=5000, dst_port=80)
+        assert packet.length == 128
+        assert packet.ip.proto == PROTO_UDP
+        assert packet.ip.total_length == 128 - 14
+
+    def test_tcp_factory(self):
+        packet = Packet.tcp("1.1.1.1", "2.2.2.2", length=64, seq=77)
+        assert packet.ip.proto == PROTO_TCP
+        assert packet.l4.seq == 77
+
+    def test_rejects_tiny_frame(self):
+        with pytest.raises(PacketError):
+            Packet(length=10)
+
+    def test_packet_ids_unique(self):
+        a = Packet.udp("1.1.1.1", "2.2.2.2")
+        b = Packet.udp("1.1.1.1", "2.2.2.2")
+        assert a.packet_id != b.packet_id
+
+
+class TestPacketSerialization:
+    def test_pack_pads_to_frame_length(self):
+        packet = Packet.udp("10.0.0.1", "10.0.0.2", length=64)
+        assert len(packet.pack()) == 64
+
+    def test_pack_unpack_round_trip(self):
+        packet = Packet.udp("10.9.8.7", "1.2.3.4", length=200,
+                            src_port=1111, dst_port=2222)
+        again = Packet.unpack(packet.pack())
+        assert again.ip.src == packet.ip.src
+        assert again.ip.dst == packet.ip.dst
+        assert again.l4.src_port == 1111
+        assert again.l4.dst_port == 2222
+        assert again.length == 200
+
+    def test_pack_rejects_overflow(self):
+        packet = Packet.udp("1.1.1.1", "2.2.2.2", length=64,
+                            payload=b"x" * 200)
+        with pytest.raises(PacketError):
+            packet.pack()
+
+    def test_copy_preserves_headers_fresh_identity(self):
+        packet = Packet.udp("3.3.3.3", "4.4.4.4", length=100)
+        packet.flow_seq = 9
+        clone = packet.copy()
+        assert clone.packet_id != packet.packet_id
+        assert clone.ip.dst == packet.ip.dst
+        assert clone.flow_seq == 9
+
+
+class TestFlows:
+    def test_five_tuple_extraction(self):
+        packet = Packet.udp("10.0.0.1", "10.0.0.2", src_port=5,
+                            dst_port=6)
+        ft = packet.five_tuple()
+        assert ft == FiveTuple(IPv4Address("10.0.0.1"),
+                               IPv4Address("10.0.0.2"), PROTO_UDP, 5, 6)
+
+    def test_five_tuple_requires_ip(self):
+        packet = Packet(length=64)
+        with pytest.raises(PacketError):
+            packet.five_tuple()
+
+    def test_reversed(self):
+        ft = FiveTuple(IPv4Address(1), IPv4Address(2), 6, 10, 20)
+        back = ft.reversed()
+        assert back.src == IPv4Address(2)
+        assert back.dst_port == 10
+        assert back.reversed() == ft
+
+    def test_rss_hash_deterministic(self):
+        ft = FiveTuple(IPv4Address("9.9.9.9"), IPv4Address("8.8.8.8"),
+                       17, 53, 53)
+        assert rss_hash(ft) == rss_hash(ft)
+
+    def test_rss_hash_spreads_flows(self):
+        counts = [0] * 8
+        for port in range(4096):
+            ft = FiveTuple(IPv4Address(port), IPv4Address(port * 7 + 1),
+                           6, port & 0xFFFF, (port * 3) & 0xFFFF)
+            counts[queue_for_flow(ft, 8)] += 1
+        # Uniform would be 512 per queue; allow generous slack.
+        assert min(counts) > 380
+        assert max(counts) < 650
+
+    def test_queue_for_flow_range(self):
+        ft = FiveTuple(IPv4Address(1), IPv4Address(2), 6, 3, 4)
+        for n in (1, 2, 7, 64):
+            assert 0 <= queue_for_flow(ft, n) < n
+        with pytest.raises(ValueError):
+            queue_for_flow(ft, 0)
+
+    def test_same_flow_same_queue(self):
+        a = Packet.udp("10.0.0.1", "10.0.0.2", src_port=99, dst_port=80)
+        b = Packet.udp("10.0.0.1", "10.0.0.2", src_port=99, dst_port=80,
+                       length=1024)
+        assert queue_for_flow(a.five_tuple(), 8) == queue_for_flow(
+            b.five_tuple(), 8)

@@ -1,0 +1,86 @@
+"""The paper's story, end to end, as one integration test file.
+
+Each test is a stage of the RouteBricks argument; together they read as
+the evaluation narrative.  These are intentionally redundant with the
+focused unit tests -- their job is to assert the *connected* story.
+"""
+
+import pytest
+
+from repro import calibration as cal
+from repro.analysis.summary import headline_rows, worst_ratio_deviation
+from repro.core import RouteBricksRouter
+from repro.core.provision import max_mesh_ports, servers_required
+from repro.core.topology import switched_cluster_equivalent_servers
+from repro.perfmodel import max_loss_free_rate
+from repro.perfmodel.scenarios import SCENARIOS, fig7_configurations
+
+
+class TestSection3_AcrossServers:
+    def test_vlb_beats_switched_cluster_on_cost(self):
+        for ports in (32, 256, 1024):
+            assert servers_required(ports, "current") \
+                < switched_cluster_equivalent_servers(ports)
+
+    def test_mesh_then_fly(self):
+        assert max_mesh_ports("current") == 32
+        assert servers_required(64, "current") > 64  # intermediates appear
+
+
+class TestSection4_WithinServers:
+    def test_two_scheduling_rules_from_fig6(self):
+        # Rule 2 (one core per packet): parallel beats any pipeline.
+        assert SCENARIOS["parallel"].rate_gbps > SCENARIOS["pipeline"].rate_gbps
+        # Rule 1 (one core per queue): shared queues halve throughput.
+        assert SCENARIOS["overlap"].rate_gbps \
+            < SCENARIOS["overlap_multi_queue"].rate_gbps / 2
+
+    def test_batching_buys_6_7x(self):
+        rows = {r["label"]: r["rate_mpps"] for r in fig7_configurations()}
+        final = rows["nehalem/multi-queue/batching"]
+        assert final / rows["nehalem/single-queue/no-batching"] > 5.5
+
+
+class TestSection5_ServerEvaluation:
+    def test_cpu_is_the_bottleneck_and_that_is_good_news(self):
+        # All apps CPU-bound at 64B: the paper's alignment argument --
+        # router workloads now scale with Moore's law like everything else.
+        for app in cal.APPLICATIONS.values():
+            assert max_loss_free_rate(app, 64).bottleneck == "cpu"
+        # And indeed the 4x-CPU next-gen projection delivers ~4x for the
+        # purely CPU-bound workloads.
+        from repro.perfmodel import project_rates
+        projections = project_rates()
+        assert projections["forwarding"].rate_gbps \
+            / max_loss_free_rate(cal.MINIMAL_FORWARDING, 64).rate_gbps \
+            == pytest.approx(4.0, rel=0.02)
+
+
+class TestSection6_RB4:
+    def test_rb4_headlines(self):
+        rb4 = RouteBricksRouter()
+        assert rb4.max_throughput(64).aggregate_gbps == pytest.approx(
+            12.0, rel=0.02)
+        assert rb4.max_throughput(740).aggregate_gbps == pytest.approx(
+            35.0, rel=0.02)
+
+    def test_commendable_vs_worst_case_gap(self):
+        # The paper's bottom line: great on realistic traffic, short of
+        # line rate on worst-case 64B -- quantified.
+        rb4 = RouteBricksRouter()
+        abilene = rb4.max_throughput(740)
+        worst = rb4.max_throughput(64)
+        assert abilene.per_port_bps / 10e9 > 0.85   # close to line rate
+        assert worst.per_port_bps / 10e9 < 0.5      # the remaining gap
+
+
+class TestHeadlineSummary:
+    def test_every_headline_within_11_percent(self):
+        rows = headline_rows()
+        assert worst_ratio_deviation(rows) < 0.11
+
+    def test_most_headlines_within_2_percent(self):
+        rows = headline_rows()
+        tight = [row for row in rows
+                 if "ratio" in row and abs(row["ratio"] - 1) < 0.02]
+        assert len(tight) >= len(rows) - 2

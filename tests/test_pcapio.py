@@ -1,0 +1,106 @@
+"""Tests for pcap trace I/O."""
+
+import io
+import struct
+
+import pytest
+
+from repro.errors import PacketError
+from repro.net import Packet
+from repro.workloads import AbileneTrace
+from repro.workloads.pcapio import load_trace, read_pcap, save_trace, write_pcap
+
+
+def _timed(count=5, gap=1e-4):
+    packets = []
+    for i in range(count):
+        packet = Packet.udp("10.0.0.%d" % (i + 1), "10.1.0.1",
+                            length=100 + i * 10, src_port=1000 + i)
+        packets.append((i * gap, packet))
+    return packets
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self):
+        buffer = io.BytesIO()
+        original = _timed()
+        assert write_pcap(buffer, original) == 5
+        buffer.seek(0)
+        loaded = list(read_pcap(buffer))
+        assert len(loaded) == 5
+        for (t0, p0), (t1, p1) in zip(original, loaded):
+            assert t1 == pytest.approx(t0, abs=1e-6)
+            assert p1.length == p0.length
+            assert p1.ip.src == p0.ip.src
+            assert p1.l4.src_port == p0.l4.src_port
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.pcap")
+        trace = AbileneTrace(seed=1)
+        count = save_trace(path, trace.timed_packets(200, rate_bps=1e9))
+        assert count == 200
+        loaded = list(load_trace(path))
+        assert len(loaded) == 200
+        times = [t for t, _ in loaded]
+        assert times == sorted(times)
+
+    def test_renumber_flows_restores_sequences(self, tmp_path):
+        path = str(tmp_path / "seq.pcap")
+        pairs = []
+        for i in range(6):
+            packet = Packet.udp("10.0.0.1", "10.0.0.2", src_port=5)
+            packet.flow_seq = i + 1
+            pairs.append((i * 1e-5, packet))
+        save_trace(path, pairs)
+        loaded = list(load_trace(path, renumber_flows=True))
+        assert [p.flow_seq for _, p in loaded] == [1, 2, 3, 4, 5, 6]
+        # Without renumbering the wire format cannot carry flow_seq.
+        plain = list(load_trace(path))
+        assert all(p.flow_seq == 0 for _, p in plain)
+
+    def test_empty_trace(self):
+        buffer = io.BytesIO()
+        assert write_pcap(buffer, []) == 0
+        buffer.seek(0)
+        assert list(read_pcap(buffer)) == []
+
+    def test_timestamp_microsecond_precision(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, [(1.234567, Packet.udp("1.1.1.1", "2.2.2.2"))])
+        buffer.seek(0)
+        (time, _), = read_pcap(buffer)
+        assert time == pytest.approx(1.234567, abs=1e-6)
+
+
+class TestValidation:
+    def test_rejects_decreasing_timestamps(self):
+        pairs = [(1.0, Packet.udp("1.1.1.1", "2.2.2.2")),
+                 (0.5, Packet.udp("1.1.1.1", "2.2.2.2"))]
+        with pytest.raises(PacketError):
+            write_pcap(io.BytesIO(), pairs)
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(PacketError):
+            write_pcap(io.BytesIO(),
+                       [(-1.0, Packet.udp("1.1.1.1", "2.2.2.2"))])
+
+    def test_rejects_bad_magic(self):
+        data = struct.pack("<IHHiIII", 0xDEADBEEF, 2, 4, 0, 0, 65535, 1)
+        with pytest.raises(PacketError):
+            list(read_pcap(io.BytesIO(data)))
+
+    def test_rejects_truncated_header(self):
+        with pytest.raises(PacketError):
+            list(read_pcap(io.BytesIO(b"\x00" * 10)))
+
+    def test_rejects_truncated_record(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, _timed(1))
+        data = buffer.getvalue()[:-5]  # chop the last packet body
+        with pytest.raises(PacketError):
+            list(read_pcap(io.BytesIO(data)))
+
+    def test_rejects_wrong_linktype(self):
+        data = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)
+        with pytest.raises(PacketError):
+            list(read_pcap(io.BytesIO(data)))

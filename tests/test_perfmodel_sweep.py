@@ -1,0 +1,81 @@
+"""Tests for the parameter-sweep helpers."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.errors import ConfigurationError
+from repro.hw.presets import NEHALEM_NEXT_GEN
+from repro.perfmodel.sweep import (
+    app_sweep,
+    batching_grid,
+    bottleneck_crossover_bytes,
+    headroom_matrix,
+    size_sweep,
+)
+
+
+class TestSizeSweep:
+    def test_rates_monotone(self):
+        rows = size_sweep(cal.MINIMAL_FORWARDING)
+        rates = [row["rate_gbps"] for row in rows]
+        assert rates == sorted(rates)
+
+    def test_bottleneck_moves_off_cpu(self):
+        rows = size_sweep(cal.MINIMAL_FORWARDING)
+        assert rows[0]["bottleneck"] == "cpu"
+        assert rows[-1]["bottleneck"] in ("nic", "pcie")
+
+
+class TestAppSweep:
+    def test_ordering(self):
+        results = app_sweep(64)
+        assert results["forwarding"].rate_bps > results["routing"].rate_bps \
+            > results["ipsec"].rate_bps
+
+
+class TestBatchingGrid:
+    def test_grid_shape_and_monotonicity(self):
+        rows = batching_grid(kps=(1, 32), kns=(1, 16))
+        assert len(rows) == 4
+        by_config = {(r["kp"], r["kn"]): r["rate_gbps"] for r in rows}
+        assert by_config[(32, 16)] > by_config[(32, 1)] > by_config[(1, 1)]
+        assert by_config[(1, 16)] > by_config[(1, 1)]
+
+    def test_corners_match_table1(self):
+        rows = batching_grid(kps=(1, 32), kns=(1, 16))
+        by_config = {(r["kp"], r["kn"]): r["rate_gbps"] for r in rows}
+        assert by_config[(1, 1)] == pytest.approx(1.46, rel=0.01)
+        assert by_config[(32, 16)] == pytest.approx(9.77, rel=0.01)
+
+
+class TestCrossover:
+    def test_forwarding_crossover_in_expected_range(self):
+        crossover = bottleneck_crossover_bytes(cal.MINIMAL_FORWARDING)
+        # Fig. 8: CPU-bound at 64-128 B, I/O-path bound from ~256 B.
+        assert crossover is not None
+        assert 128 < crossover <= 256
+
+    def test_ipsec_always_cpu_bound(self):
+        assert bottleneck_crossover_bytes(cal.IPSEC) is None
+
+    def test_next_gen_crossover_smaller_or_equal(self):
+        base = bottleneck_crossover_bytes(cal.MINIMAL_FORWARDING)
+        fast = bottleneck_crossover_bytes(cal.MINIMAL_FORWARDING,
+                                          spec=NEHALEM_NEXT_GEN)
+        # 4x CPU with the NIC cap scaled 2x: the crossover moves earlier.
+        assert fast is not None and base is not None
+        assert fast <= base
+
+    def test_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            bottleneck_crossover_bytes(cal.IPSEC, lo=100, hi=100)
+
+
+class TestHeadroomMatrix:
+    def test_cpu_headroom_one_for_all_apps(self):
+        rows = headroom_matrix(64)
+        for row in rows:
+            assert row["bottleneck"] == "cpu"
+            assert row["cpu"] == pytest.approx(1.0, rel=1e-6)
+            for component in ("memory", "io", "qpi"):
+                assert row[component] > 1.0

@@ -1,0 +1,71 @@
+"""Property tests on the cluster DES: conservation and ordering invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RouteBricksRouter
+from repro.workloads import FixedSizeWorkload
+
+
+def _random_events(num_nodes, packets, seed):
+    rng = random.Random(seed)
+    workload = FixedSizeWorkload(packet_bytes=200 + rng.randrange(1300),
+                                 num_flows=16, seed=seed)
+    events = []
+    now = 0.0
+    for packet in workload.packets(packets):
+        now += rng.expovariate(1e6)
+        ingress = rng.randrange(num_nodes)
+        egress = rng.randrange(num_nodes)
+        events.append((now, ingress, egress, packet))
+    return events
+
+
+@settings(max_examples=12, deadline=None)
+@given(num_nodes=st.integers(min_value=2, max_value=6),
+       packets=st.integers(min_value=10, max_value=200),
+       seed=st.integers(min_value=0, max_value=999),
+       flowlets=st.booleans())
+def test_packet_conservation(num_nodes, packets, seed, flowlets):
+    """Every offered packet is either delivered or counted dropped."""
+    router = RouteBricksRouter(num_nodes=num_nodes, use_flowlets=flowlets,
+                               seed=seed)
+    report = router.simulate(_random_events(num_nodes, packets, seed))
+    assert report.delivered_packets + report.dropped_packets \
+        == report.offered_packets
+    total_egress = sum(s["egress"] for s in report.node_stats)
+    assert total_egress == report.delivered_packets
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=999))
+def test_paths_are_loop_free(seed):
+    """No packet visits more than 3 servers in a full mesh (S, I, D)."""
+    router = RouteBricksRouter(num_nodes=4, seed=seed)
+    sim, nodes = router.build_simulation()
+    paths = []
+    for node in nodes:
+        node.egress_callback = lambda p, now: paths.append(p.path)
+    for time, ingress, egress, packet in _random_events(4, 100, seed):
+        sim.schedule_at(time,
+                        lambda n=nodes[ingress], p=packet, e=egress:
+                        n.ingress(p, e))
+    sim.run()
+    for path in paths:
+        assert 1 <= len(path) <= 3
+        assert len(set(path)) == len(path)  # no repeated nodes
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=999))
+def test_single_path_traffic_never_reorders(seed):
+    """A single low-rate flow (no balancing pressure) exits in order."""
+    router = RouteBricksRouter(num_nodes=4, seed=seed)
+    workload = FixedSizeWorkload(packet_bytes=300, num_flows=1, seed=seed)
+    events = [(index * 1e-4, 0, 2, packet)
+              for index, packet in enumerate(workload.packets(50))]
+    report = router.simulate(events)
+    assert report.reordered_fraction == 0.0
+    assert report.delivered_packets == 50

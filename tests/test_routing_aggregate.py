@@ -1,0 +1,122 @@
+"""Tests for FIB aggregation, including lookup-equivalence properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RoutingError
+from repro.net import Prefix
+from repro.routing import RoutingTable, generate_rib
+from repro.routing.aggregate import (
+    _parent,
+    _sibling,
+    aggregate_routes,
+    aggregate_table,
+)
+
+
+class TestHelpers:
+    def test_sibling_flips_last_bit(self):
+        assert _sibling(Prefix.parse("10.0.0.0/9")) == Prefix.parse(
+            "10.128.0.0/9")
+        assert _sibling(Prefix.parse("10.128.0.0/9")) == Prefix.parse(
+            "10.0.0.0/9")
+
+    def test_parent(self):
+        assert _parent(Prefix.parse("10.128.0.0/9")) == Prefix.parse(
+            "10.0.0.0/8")
+
+    def test_default_route_has_neither(self):
+        with pytest.raises(RoutingError):
+            _sibling(Prefix(0, 0))
+        with pytest.raises(RoutingError):
+            _parent(Prefix(0, 0))
+
+
+class TestAggregation:
+    def test_sibling_merge(self):
+        routes = {Prefix.parse("10.0.0.0/9"): "a",
+                  Prefix.parse("10.128.0.0/9"): "a"}
+        out = aggregate_routes(routes)
+        assert out == {Prefix.parse("10.0.0.0/8"): "a"}
+
+    def test_unequal_siblings_kept(self):
+        routes = {Prefix.parse("10.0.0.0/9"): "a",
+                  Prefix.parse("10.128.0.0/9"): "b"}
+        assert aggregate_routes(routes) == routes
+
+    def test_cascading_merge(self):
+        routes = {Prefix.parse("10.0.0.0/10"): "a",
+                  Prefix.parse("10.64.0.0/10"): "a",
+                  Prefix.parse("10.128.0.0/9"): "a"}
+        out = aggregate_routes(routes)
+        assert out == {Prefix.parse("10.0.0.0/8"): "a"}
+
+    def test_redundant_child_dropped(self):
+        routes = {Prefix.parse("10.0.0.0/8"): "a",
+                  Prefix.parse("10.5.0.0/16"): "a",
+                  Prefix.parse("10.6.0.0/16"): "b"}
+        out = aggregate_routes(routes)
+        assert Prefix.parse("10.5.0.0/16") not in out
+        assert out[Prefix.parse("10.6.0.0/16")] == "b"
+
+    def test_sibling_merge_overrides_shadowed_parent(self):
+        # The parent's own value is unreachable once both children exist.
+        routes = {Prefix.parse("10.0.0.0/8"): "old",
+                  Prefix.parse("10.0.0.0/9"): "new",
+                  Prefix.parse("10.128.0.0/9"): "new"}
+        out = aggregate_routes(routes)
+        assert out == {Prefix.parse("10.0.0.0/8"): "new"}
+
+    def test_empty(self):
+        assert aggregate_routes({}) == {}
+
+
+class TestTableAggregation:
+    def test_rib_shrinks_and_stays_equivalent(self):
+        table = generate_rib(num_entries=400, num_ports=2, seed=9)
+        compact, stats = aggregate_table(table)
+        assert stats["aggregated_routes"] <= stats["original_routes"]
+        rng = random.Random(1)
+        for _ in range(500):
+            probe = rng.getrandbits(32)
+            assert compact.lookup(probe) == table.lookup(probe)
+
+    def test_two_port_table_aggregates_more_than_eight_port(self):
+        few = aggregate_table(generate_rib(500, num_ports=2, seed=3))[1]
+        many = aggregate_table(generate_rib(500, num_ports=8, seed=3))[1]
+        assert few["reduction"] >= many["reduction"]
+
+
+_prefix = st.tuples(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                    st.integers(min_value=1, max_value=16))
+
+
+@settings(max_examples=40, deadline=None)
+@given(entries=st.lists(st.tuples(_prefix, st.integers(1, 3)),
+                        min_size=1, max_size=25),
+       probes=st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                       min_size=1, max_size=40))
+def test_aggregation_preserves_all_lookups(entries, probes):
+    """Property: the aggregated map answers every lookup identically."""
+    original = RoutingTable(engine="trie")
+    routes = {}
+    for (addr, length), value in entries:
+        prefix = Prefix.from_address(addr, length)
+        routes[prefix] = value
+    for prefix, value in routes.items():
+        from repro.routing import Route
+        from repro.net import IPv4Address
+        original.add_route(prefix, Route(port=value,
+                                         next_hop=IPv4Address(value)))
+    compact_map = aggregate_routes(dict(original.routes()))
+    compact = RoutingTable(engine="trie")
+    for prefix, route in compact_map.items():
+        compact.add_route(prefix, route)
+    for probe in probes:
+        assert compact.lookup(probe) == original.lookup(probe), hex(probe)
+    # Probe prefix boundaries too.
+    for prefix in routes:
+        assert compact.lookup(prefix.network) == original.lookup(
+            prefix.network)

@@ -1,0 +1,144 @@
+"""Tests for DIR-24-8, including property tests against the trie oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RoutingError
+from repro.net import Prefix
+from repro.routing import BinaryTrie, Dir24_8
+
+
+@pytest.fixture
+def table():
+    d = Dir24_8()
+    d.insert(Prefix.parse("10.0.0.0/8"), "ten")
+    d.insert(Prefix.parse("10.1.0.0/16"), "ten-one")
+    d.insert(Prefix.parse("10.1.2.0/24"), "ten-one-two")
+    d.insert(Prefix.parse("10.1.2.128/25"), "long")
+    return d
+
+
+class TestBasics:
+    def test_short_prefix_lookup(self, table):
+        assert table.lookup("10.200.1.1") == "ten"
+        assert table.lookup("10.1.50.1") == "ten-one"
+        assert table.lookup("10.1.2.5") == "ten-one-two"
+
+    def test_long_prefix_lookup(self, table):
+        assert table.lookup("10.1.2.200") == "long"
+        assert table.lookup("10.1.2.127") == "ten-one-two"
+
+    def test_miss(self, table):
+        assert table.lookup("99.0.0.1") is None
+
+    def test_len(self, table):
+        assert len(table) == 4
+
+    def test_replace_does_not_grow(self, table):
+        table.insert(Prefix.parse("10.0.0.0/8"), "TEN")
+        assert len(table) == 4
+        assert table.lookup("10.77.0.1") == "TEN"
+
+    def test_default_route(self):
+        d = Dir24_8()
+        d.insert(Prefix(0, 0), "default")
+        assert d.lookup("1.2.3.4") == "default"
+        assert d.lookup("255.255.255.255") == "default"
+
+    def test_none_value_rejected(self):
+        d = Dir24_8()
+        with pytest.raises(RoutingError):
+            d.insert(Prefix.parse("1.0.0.0/8"), None)
+
+    def test_memory_accounting_grows_with_long_tables(self):
+        d = Dir24_8()
+        base = d.memory_bytes()
+        d.insert(Prefix.parse("10.1.2.128/25"), "x")
+        assert d.memory_bytes() > base
+
+
+class TestRemoval:
+    def test_remove_long_restores_short(self, table):
+        table.remove(Prefix.parse("10.1.2.128/25"))
+        assert table.lookup("10.1.2.200") == "ten-one-two"
+
+    def test_remove_short_under_long(self, table):
+        table.remove(Prefix.parse("10.1.2.0/24"))
+        assert table.lookup("10.1.2.5") == "ten-one"
+        assert table.lookup("10.1.2.200") == "long"  # untouched
+
+    def test_remove_missing_raises(self, table):
+        with pytest.raises(RoutingError):
+            table.remove(Prefix.parse("77.0.0.0/8"))
+
+    def test_remove_all_leaves_empty(self, table):
+        for text in ("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24",
+                     "10.1.2.128/25"):
+            table.remove(Prefix.parse(text))
+        assert table.lookup("10.1.2.200") is None
+        assert len(table) == 0
+
+    def test_remove_16_with_sibling_24_present(self):
+        # The covering lookup must not pick the longer inner prefix.
+        d = Dir24_8()
+        d.insert(Prefix.parse("10.0.0.0/8"), "eight")
+        d.insert(Prefix.parse("10.1.0.0/16"), "sixteen")
+        d.insert(Prefix.parse("10.1.0.0/24"), "twentyfour")
+        d.remove(Prefix.parse("10.1.0.0/16"))
+        assert d.lookup("10.1.0.1") == "twentyfour"
+        assert d.lookup("10.1.99.1") == "eight"
+
+
+# -- property tests against the trie oracle --------------------------------
+
+_prefixes = st.tuples(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                      st.integers(min_value=0, max_value=32))
+_ops = st.lists(st.tuples(st.sampled_from(["insert", "remove"]), _prefixes,
+                          st.integers(min_value=1, max_value=5)),
+                min_size=1, max_size=40)
+_probes = st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                   min_size=1, max_size=30)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops, probes=_probes)
+def test_dir24_8_matches_trie_oracle(ops, probes):
+    """After any insert/remove sequence, DIR-24-8 agrees with the trie."""
+    fast = Dir24_8()
+    oracle = BinaryTrie()
+    for op, (addr, length), value in ops:
+        prefix = Prefix.from_address(addr, length)
+        if op == "insert":
+            fast.insert(prefix, value)
+            oracle.insert(prefix, value)
+        else:
+            if oracle.contains(prefix):
+                fast.remove(prefix)
+                oracle.remove(prefix)
+    for probe in probes:
+        assert fast.lookup(probe) == oracle.lookup(probe), hex(probe)
+    # Also probe the boundaries of every touched prefix.
+    for _, (addr, length), _ in ops:
+        prefix = Prefix.from_address(addr, length)
+        lo = prefix.network.value
+        hi = lo + (1 << (32 - length)) - 1 if length else (1 << 32) - 1
+        for probe in (lo, hi):
+            assert fast.lookup(probe) == oracle.lookup(probe), hex(probe)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_dir24_8_batch_lookup_matches_scalar(data):
+    import numpy as np
+
+    fast = Dir24_8()
+    n = data.draw(st.integers(min_value=1, max_value=10))
+    for i in range(n):
+        addr = data.draw(st.integers(min_value=0, max_value=(1 << 32) - 1))
+        length = data.draw(st.integers(min_value=1, max_value=32))
+        fast.insert(Prefix.from_address(addr, length), i + 1)
+    probes = data.draw(st.lists(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        min_size=1, max_size=20))
+    batch = fast.lookup_batch(np.array(probes, dtype=np.uint32))
+    assert batch == [fast.lookup(p) for p in probes]

@@ -1,0 +1,240 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net import Packet
+from repro.simnet import FiniteQueue, Histogram, Link, RngStreams, Simulator
+from repro.simnet.stats import Counter, TimeSeries
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(0.5, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [1.0, 1.5]
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_cancellation(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_max_events(self):
+        sim = Simulator()
+        count = []
+        for i in range(10):
+            sim.schedule(i + 1.0, lambda: count.append(1))
+        sim.run(max_events=3)
+        assert len(count) == 3
+
+
+class TestFiniteQueue:
+    def test_fifo_order(self):
+        q = FiniteQueue(capacity=3)
+        for i in range(3):
+            assert q.offer(i)
+        assert [q.poll(), q.poll(), q.poll()] == [0, 1, 2]
+
+    def test_overflow_drops(self):
+        q = FiniteQueue(capacity=2)
+        assert q.offer(1) and q.offer(2)
+        assert not q.offer(3)
+        assert q.dropped == 1
+        assert q.drop_rate() == pytest.approx(1 / 3)
+
+    def test_poll_empty(self):
+        assert FiniteQueue(capacity=1).poll() is None
+
+    def test_batch_poll(self):
+        q = FiniteQueue(capacity=10)
+        for i in range(5):
+            q.offer(i)
+        assert q.poll_batch(3) == [0, 1, 2]
+        assert len(q) == 2
+
+    def test_high_watermark(self):
+        q = FiniteQueue(capacity=10)
+        for i in range(4):
+            q.offer(i)
+        q.poll()
+        assert q.high_watermark == 4
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FiniteQueue(capacity=0)
+
+
+class TestLink:
+    def test_delivery_after_serialization_and_propagation(self):
+        sim = Simulator()
+        got = []
+        link = Link(sim, "l", rate_bps=8e6, deliver=lambda p: got.append(sim.now),
+                    propagation_sec=1e-3)
+        packet = Packet.udp("1.1.1.1", "2.2.2.2", length=1000)  # 8000 bits
+        assert link.send(packet)
+        sim.run()
+        # 8000 bits at 8 Mbps = 1 ms serialization + 1 ms propagation.
+        assert got == [pytest.approx(2e-3)]
+
+    def test_back_to_back_packets_serialize(self):
+        sim = Simulator()
+        times = []
+        link = Link(sim, "l", rate_bps=8e6, deliver=lambda p: times.append(sim.now),
+                    propagation_sec=0.0)
+        for _ in range(3):
+            link.send(Packet.udp("1.1.1.1", "2.2.2.2", length=1000))
+        sim.run()
+        assert times == [pytest.approx(1e-3), pytest.approx(2e-3),
+                         pytest.approx(3e-3)]
+
+    def test_fifo_no_reordering_on_one_link(self):
+        sim = Simulator()
+        got = []
+        link = Link(sim, "l", rate_bps=1e9, deliver=lambda p: got.append(p.flow_seq))
+        for seq in range(20):
+            packet = Packet.udp("1.1.1.1", "2.2.2.2", length=100)
+            packet.flow_seq = seq
+            link.send(packet)
+        sim.run()
+        assert got == list(range(20))
+
+    def test_queue_overflow(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=1e3, deliver=lambda p: None,
+                    queue_packets=2)
+        results = [link.send(Packet.udp("1.1.1.1", "2.2.2.2", length=100))
+                   for _ in range(5)]
+        # One in flight + 2 queued; the rest dropped.
+        assert results.count(False) >= 1
+        assert link.queue.dropped >= 1
+
+    def test_utilization(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=8e6, deliver=lambda p: None)
+        link.send(Packet.udp("1.1.1.1", "2.2.2.2", length=1000))
+        sim.run()
+        assert link.utilization(2e-3) == pytest.approx(0.5)
+
+    def test_queued_bits(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=1e3, deliver=lambda p: None)
+        link.send(Packet.udp("1.1.1.1", "2.2.2.2", length=100))  # in flight
+        link.send(Packet.udp("1.1.1.1", "2.2.2.2", length=100))  # queued
+        assert link.queued_bits() == 800
+
+
+class TestRng:
+    def test_deterministic_streams(self):
+        a = RngStreams(seed=1).stream("x").random()
+        b = RngStreams(seed=1).stream("x").random()
+        assert a == b
+
+    def test_independent_streams(self):
+        streams = RngStreams(seed=1)
+        assert streams.stream("x").random() != streams.stream("y").random()
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(seed=1).stream("x").random()
+        b = RngStreams(seed=2).stream("x").random()
+        assert a != b
+
+
+class TestStats:
+    def test_counter(self):
+        c = Counter()
+        c.add("drops")
+        c.add("drops", 2)
+        assert c.get("drops") == 3
+        assert c.get("missing") == 0
+        with pytest.raises(ValueError):
+            c.add("drops", -1)
+
+    def test_histogram_percentiles(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(99) == 99
+        assert h.min() == 1
+        assert h.max() == 100
+        assert h.mean() == pytest.approx(50.5)
+
+    def test_histogram_unsorted_input(self):
+        h = Histogram()
+        for v in (5, 1, 3, 2, 4):
+            h.observe(v)
+        assert h.percentile(100) == 5
+        assert h.cdf_at(3) == pytest.approx(0.6)
+
+    def test_histogram_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().mean()
+        with pytest.raises(ValueError):
+            Histogram().percentile(50)
+
+    def test_histogram_bad_percentile(self):
+        h = Histogram()
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_time_series_rate(self):
+        ts = TimeSeries()
+        ts.record(0.5, 100)
+        ts.record(1.5, 200)
+        assert ts.rate_over(0, 2) == pytest.approx(150)
+        assert ts.total() == 300
+
+    def test_time_series_order_enforced(self):
+        ts = TimeSeries()
+        ts.record(1.0, 1)
+        with pytest.raises(ValueError):
+            ts.record(0.5, 1)

@@ -1,0 +1,41 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_gbps_round_trip():
+    assert units.to_gbps(units.gbps(12.3)) == pytest.approx(12.3)
+
+
+def test_mpps_round_trip():
+    assert units.to_mpps(units.mpps(18.96)) == pytest.approx(18.96)
+
+
+def test_rate_conversions_are_inverses():
+    bps = units.gbps(10)
+    pps = units.rate_bps_to_pps(bps, 64)
+    assert units.rate_pps_to_bps(pps, 64) == pytest.approx(bps)
+
+
+def test_64b_line_rate_packet_rate():
+    # 10 Gbps of 64 B packets is 19.53 Mpps -- the classic line-rate figure.
+    pps = units.rate_bps_to_pps(units.gbps(10), 64)
+    assert units.to_mpps(pps) == pytest.approx(19.53, abs=0.01)
+
+
+def test_usec_round_trip():
+    assert units.to_usec(units.usec(24.0)) == pytest.approx(24.0)
+
+
+@pytest.mark.parametrize("bad", [0, -1, -64])
+def test_rate_conversion_rejects_nonpositive_size(bad):
+    with pytest.raises(ValueError):
+        units.rate_bps_to_pps(1e9, bad)
+    with pytest.raises(ValueError):
+        units.rate_pps_to_bps(1e6, bad)
+
+
+def test_packets_to_bits():
+    assert units.packets_to_bits(1000, 64) == 1000 * 64 * 8

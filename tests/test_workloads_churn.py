@@ -1,0 +1,77 @@
+"""Tests for the routing-churn workload and FIB consistency under churn."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.routing import BinaryTrie, RoutingTable, generate_rib
+from repro.workloads.churn import ChurnGenerator, Update
+
+
+@pytest.fixture
+def table():
+    return generate_rib(num_entries=300, num_ports=4, seed=1)
+
+
+class TestChurnGenerator:
+    def test_update_mix(self, table):
+        gen = ChurnGenerator(table, withdraw_fraction=0.3,
+                             reannounce_fraction=0.4, seed=2)
+        updates = list(gen.updates(500))
+        withdrawals = sum(1 for u in updates if u.is_withdrawal)
+        assert 100 < withdrawals < 200  # ~30 %
+
+    def test_apply_keeps_table_consistent(self, table):
+        size_before = len(table)
+        gen = ChurnGenerator(table, seed=3)
+        stats = gen.apply(400)
+        assert stats["withdraw_misses"] == 0
+        assert len(table) == (size_before + stats["announced"]
+                              - stats["withdrawn"])
+
+    def test_withdrawn_prefixes_stop_matching_exactly(self, table):
+        gen = ChurnGenerator(table, withdraw_fraction=1.0,
+                             reannounce_fraction=0.0, seed=4)
+        removed = [u.prefix for u in gen.updates(50)]
+        for prefix in removed:
+            table.remove_route(prefix)
+        for prefix in removed:
+            assert not table.has_route(prefix)
+
+    def test_deterministic(self, table):
+        a = [u.prefix for u in ChurnGenerator(table, seed=5).updates(50)]
+        b = [u.prefix for u in ChurnGenerator(
+            generate_rib(num_entries=300, num_ports=4, seed=1),
+            seed=5).updates(50)]
+        assert a == b
+
+    def test_bad_fractions(self, table):
+        with pytest.raises(ConfigurationError):
+            ChurnGenerator(table, withdraw_fraction=0.8,
+                           reannounce_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            ChurnGenerator(table, withdraw_fraction=-0.1)
+
+    def test_update_dataclass(self, table):
+        prefix = next(iter(dict(table.routes())))
+        assert Update(prefix=prefix, route=None).is_withdrawal
+        assert not Update(prefix=prefix, route="r").is_withdrawal
+
+
+class TestChurnedFibAgreesWithOracle:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=99))
+    def test_dir24_8_matches_trie_after_churn(self, seed):
+        """Property: after an arbitrary churn episode, the DIR-24-8 FIB
+        agrees with a trie replaying the same final route set."""
+        table = generate_rib(num_entries=60, num_ports=3, seed=seed)
+        gen = ChurnGenerator(table, seed=seed + 1)
+        gen.apply(120)
+        oracle = BinaryTrie()
+        for prefix, route in table.routes():
+            oracle.insert(prefix, route)
+        import random
+        rng = random.Random(seed + 2)
+        for _ in range(200):
+            probe = rng.getrandbits(32)
+            assert table.lookup(probe) == oracle.lookup(probe), hex(probe)

@@ -1,0 +1,71 @@
+"""Tests for IMIX workloads."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.imix import (
+    MIXES,
+    ImixWorkload,
+    imix_rate_gbps,
+    mix_mean_bytes,
+)
+
+
+class TestMixes:
+    def test_simple_imix_mean(self):
+        # (7x64 + 4x570 + 1x1518) / 12 packets = 353.83 B.
+        assert mix_mean_bytes(MIXES["simple"]) == pytest.approx(353.83,
+                                                                abs=0.5)
+
+    def test_minimum_mix(self):
+        assert mix_mean_bytes(MIXES["minimum"]) == 64
+
+    def test_bad_mix(self):
+        with pytest.raises(ConfigurationError):
+            mix_mean_bytes([(100, 0)])
+
+
+class TestImixWorkload:
+    def test_sizes_from_mix(self):
+        workload = ImixWorkload("simple", seed=1)
+        sizes = {p.length for p in workload.packets(300)}
+        assert sizes <= {64, 570, 1518}
+        assert len(sizes) == 3
+
+    def test_empirical_mean(self):
+        workload = ImixWorkload("simple", seed=2)
+        sizes = [p.length for p in workload.packets(12000)]
+        assert sum(sizes) / len(sizes) == pytest.approx(353, rel=0.05)
+
+    def test_custom_mix(self):
+        workload = ImixWorkload([(128, 1), (256, 1)], seed=3)
+        sizes = {p.length for p in workload.packets(100)}
+        assert sizes <= {128, 256}
+        assert workload.mean_packet_bytes() == 192
+
+    def test_flow_sequences(self):
+        workload = ImixWorkload("simple", num_flows=2, seed=4)
+        packets = list(workload.packets(6))
+        assert [p.flow_seq for p in packets[::2]] == [1, 2, 3]
+
+    def test_unknown_mix(self):
+        with pytest.raises(ConfigurationError):
+            ImixWorkload("jumbo")
+
+    def test_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            ImixWorkload([(32, 1)])
+
+
+class TestImixRates:
+    def test_rate_between_64b_and_large(self):
+        imix = imix_rate_gbps("forwarding", "simple")
+        from repro import calibration as cal
+        from repro.perfmodel import max_loss_free_rate
+        small = max_loss_free_rate(cal.MINIMAL_FORWARDING, 64).rate_gbps
+        large = max_loss_free_rate(cal.MINIMAL_FORWARDING, 1500).rate_gbps
+        assert small < imix < large
+
+    def test_minimum_mix_equals_64b(self):
+        imix = imix_rate_gbps("forwarding", "minimum")
+        assert imix == pytest.approx(9.77, rel=0.01)
