@@ -1,0 +1,131 @@
+"""Graceful degradation under server failures (Sec. 3.2).
+
+Two artifacts:
+
+* the capacity-vs-failed-servers curve, analytic model against the
+  packet-level DES -- the shapes must agree within ~10 % for the 1-2
+  failed-of-8 regime the paper's claim covers;
+* a crash-and-recover timeline through the control plane, showing
+  measurable convergence and full reconvergence after recovery.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import RouteBricksRouter
+from repro.core.control import ClusterManager
+from repro.core.vlb import required_internal_link_rate
+from repro.faults import FaultSchedule, degradation_curve, linear_fraction
+from repro.workloads import WorkloadSpec
+from repro.workloads.matrices import TrafficMatrix
+
+NODES = 8
+PORT_RATE = 10e9
+LOAD = 0.3            # offered load per live port, fraction of R
+PACKET_BYTES = 1024
+DURATION = 1.2e-3
+
+
+def _survivor_matrix(failed: int) -> TrafficMatrix:
+    """Uniform admissible traffic among the live nodes only (a dead
+    server's port is dark, so no demand enters or leaves it)."""
+    live = list(range(failed, NODES))
+    per_pair = LOAD * PORT_RATE / (len(live) - 1)
+    demands = [[per_pair if i in live and j in live and i != j else 0.0
+                for j in range(NODES)] for i in range(NODES)]
+    return TrafficMatrix(demands)
+
+
+def _des_goodput(failed: int) -> float:
+    """Delivered bits/second with ``failed`` servers crashed at t=0."""
+    router = RouteBricksRouter(
+        num_nodes=NODES, port_rate_bps=PORT_RATE,
+        internal_link_bps=required_internal_link_rate(NODES, PORT_RATE),
+        seed=17)
+    schedule = FaultSchedule()
+    for node in range(failed):
+        schedule.crash_node(at=1e-9, node=node)
+    workload = WorkloadSpec.fixed(PACKET_BYTES, seed=17).with_matrix(
+        _survivor_matrix(failed))
+    report = router.simulate(workload, until=DURATION,
+                             faults=schedule if failed else None,
+                             detection_latency_sec=20e-6)
+    return report.delivered_bps
+
+
+def test_degradation_analytic_vs_des(benchmark, save_result):
+    def run():
+        analytic = degradation_curve(
+            num_nodes=NODES, workload=WorkloadSpec.fixed(PACKET_BYTES),
+            port_rate_bps=PORT_RATE, max_failed=2)
+        des_goodput = {k: _des_goodput(k) for k in (0, 1, 2)}
+        rows = []
+        for k in (0, 1, 2):
+            rows.append({
+                "failed": k,
+                "analytic_fraction": analytic.point(k).capacity_fraction,
+                "des_fraction": des_goodput[k] / des_goodput[0],
+                "linear_ideal": linear_fraction(NODES, k),
+                "analytic_gbps": analytic.point(k).capacity_gbps,
+                "des_goodput_gbps": des_goodput[k] / 1e9,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("faults_degradation", format_table(
+        rows, ["failed", "analytic_fraction", "des_fraction",
+               "linear_ideal", "analytic_gbps", "des_goodput_gbps"],
+        title="Capacity vs failed servers (8 nodes, 2R/N links, "
+              "uniform survivors)"))
+    # The paper's claim: losing 1-2 of 8 servers sheds only those ports'
+    # share.  Analytic and DES curves must agree in shape (~10 %).
+    for row in rows:
+        assert row["des_fraction"] == pytest.approx(
+            row["analytic_fraction"], rel=0.10)
+        assert row["analytic_fraction"] == pytest.approx(
+            row["linear_ideal"], rel=0.10)
+
+
+def test_crash_recover_reconvergence(benchmark, save_result):
+    def run():
+        router = RouteBricksRouter(num_nodes=NODES, seed=5)
+        manager = ClusterManager(port_rate_bps=PORT_RATE)
+        for port in range(NODES):
+            manager.add_node(external_port=port)
+            manager.announce("10.%d.0.0/16" % port, port)
+        manager.push_fibs()
+        schedule = (FaultSchedule()
+                    .crash_node(at=0.3 * DURATION, node=3)
+                    .recover_node(at=0.65 * DURATION, node=3))
+        workload = WorkloadSpec.fixed(PACKET_BYTES, seed=5).with_matrix(
+            _survivor_matrix(0))
+        report = router.simulate(
+            workload, until=DURATION, faults=schedule, manager=manager,
+            detection_latency_sec=100e-6, fib_push_latency_sec=50e-6)
+        return report, manager
+
+    report, manager = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Crash/recover timeline (node 3 of %d, 100 us detection, "
+             "50 us FIB push)" % NODES]
+    for record in report.convergence:
+        lines.append("  %-9s node %d: failed %.3f ms, converged %.3f ms "
+                     "(%.0f us, %d live)"
+                     % (record.event, record.node, record.failed_at * 1e3,
+                        record.converged_at * 1e3,
+                        record.convergence_sec * 1e6, record.live_nodes))
+    lines.append("delivery: %d/%d (%.1f%%), %d dropped"
+                 % (report.delivered_packets, report.offered_packets,
+                    report.delivery_ratio * 100, report.dropped_packets))
+    save_result("faults_reconvergence", "\n".join(lines))
+
+    # Killing a node mid-run never crashes the run, and the cluster
+    # reconverges after recovery.
+    events = [(r.event, r.live_nodes) for r in report.convergence]
+    assert events == [("node_down", NODES - 1), ("node_up", NODES)]
+    for record in report.convergence:
+        assert record.convergence_sec == pytest.approx(150e-6, rel=0.01)
+    assert manager.failed_nodes() == []
+    assert manager.stale_nodes() == []
+    # The fault cost packets, but the cluster kept moving traffic.
+    assert report.dropped_packets > 0
+    assert report.delivery_ratio > 0.7

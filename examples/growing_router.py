@@ -13,6 +13,7 @@ from repro import calibration as cal
 from repro.analysis import format_table
 from repro.core import RouteBricksRouter
 from repro.core.control import ClusterManager
+from repro.workloads import WorkloadSpec
 from repro.core.mac_encoding import mac_trick_feasible
 from repro.net import IPv4Address
 
@@ -20,7 +21,8 @@ from repro.net import IPv4Address
 def snapshot(manager, label):
     n = manager.num_nodes
     router = RouteBricksRouter(num_nodes=max(n, 2))
-    throughput = router.max_throughput(cal.ABILENE_MEAN_PACKET_BYTES)
+    throughput = router.max_throughput(
+        WorkloadSpec.fixed(cal.ABILENE_MEAN_PACKET_BYTES))
     return {
         "step": label,
         "nodes": n,

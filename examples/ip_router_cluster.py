@@ -11,6 +11,7 @@ Run:  python examples/ip_router_cluster.py
 
 from repro import calibration as cal
 from repro.core import RouteBricksRouter
+from repro.workloads import WorkloadSpec
 from repro.core.latency import latency_range_usec
 from repro.routing import generate_rib
 from repro.routing.rib_gen import random_destinations
@@ -31,7 +32,7 @@ def main():
     router = RouteBricksRouter(num_nodes=num_nodes, seed=7)
     for label, size in (("64B", 64), ("Abilene",
                                       cal.ABILENE_MEAN_PACKET_BYTES)):
-        result = router.max_throughput(size)
+        result = router.max_throughput(WorkloadSpec.fixed(size))
         print("cluster throughput (%s): %.1f Gbps aggregate, %s-bound"
               % (label, result.aggregate_gbps, result.binding))
 

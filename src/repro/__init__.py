@@ -17,7 +17,15 @@ Public entry points
 ``repro.click``
     The Click-like modular dataplane.
 ``repro.workloads``
-    Traffic generation (fixed-size, Abilene-like, traffic matrices).
+    Traffic generation (fixed-size, Abilene-like, traffic matrices) and
+    ``WorkloadSpec``, the uniform workload descriptor every throughput
+    API accepts.
+``repro.faults``
+    Fault injection (timed crash/recover/link/NIC-stall schedules) and
+    the analytic graceful-degradation model (Sec. 3.2).
+``repro.results``
+    ``RunResult``, the common base for every result object
+    (``to_dict()`` / ``summary()``).
 ``repro.analysis``
     Bottleneck deconstruction and experiment runners.
 """

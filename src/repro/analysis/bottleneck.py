@@ -18,11 +18,15 @@ from ..hw.presets import NEHALEM
 from ..hw.server import ServerSpec
 from ..perfmodel.bounds import bounds_for
 from ..perfmodel.loads import DEFAULT_CONFIG, ServerConfig, per_packet_loads
+from ..results import RunResult
 
 
 @dataclass(frozen=True)
-class BottleneckReport:
+class BottleneckReport(RunResult):
     """Loads-vs-bounds for one (app, packet size, server) point."""
+
+    _summary_fields = ("app", "packet_bytes", "bottleneck",
+                       "saturation_pps")
 
     app: str
     packet_bytes: float
@@ -55,9 +59,11 @@ def deconstruct(app: cal.AppCost, packet_bytes: float = 64,
                 config: ServerConfig = DEFAULT_CONFIG) -> BottleneckReport:
     """Build the Figs. 9-10 comparison for one application."""
     from ..perfmodel.throughput import max_loss_free_rate
+    from ..workloads.spec import WorkloadSpec
 
     loads_vec = per_packet_loads(app, packet_bytes, config, spec)
-    result = max_loss_free_rate(app, packet_bytes, spec, config,
+    result = max_loss_free_rate(WorkloadSpec.fixed(packet_bytes, app=app),
+                                spec=spec, config=config,
                                 empirical_bounds=True, nic_limited=False)
     rate = result.rate_pps
     bounds = bounds_for(spec)

@@ -23,6 +23,7 @@ from ..perfmodel.projection import (
 )
 from ..perfmodel.scenarios import SCENARIOS, fig7_configurations
 from ..perfmodel.throughput import max_loss_free_rate
+from ..workloads.spec import WorkloadSpec
 from ..workloads.flowgen import FlowGenerator
 from .bottleneck import deconstruct, load_series
 
@@ -99,12 +100,14 @@ def run_fig8() -> dict:
     """Fig. 8: rate vs packet size (top) and vs application (bottom)."""
     top = []
     for size in (64, 128, 256, 512, 1024):
-        result = max_loss_free_rate(cal.MINIMAL_FORWARDING, size)
+        result = max_loss_free_rate(
+            WorkloadSpec.fixed(size, app="forwarding"))
         top.append({"packet_bytes": size, "rate_gbps": result.rate_gbps,
                     "rate_mpps": result.rate_mpps,
                     "bottleneck": result.bottleneck})
     abilene = cal.ABILENE_MEAN_PACKET_BYTES
-    result = max_loss_free_rate(cal.MINIMAL_FORWARDING, abilene)
+    result = max_loss_free_rate(
+        WorkloadSpec.fixed(abilene, app="forwarding"))
     top.append({"packet_bytes": abilene, "rate_gbps": result.rate_gbps,
                 "rate_mpps": result.rate_mpps,
                 "bottleneck": result.bottleneck})
@@ -112,8 +115,8 @@ def run_fig8() -> dict:
     paper_64 = {"forwarding": 9.7, "routing": 6.35, "ipsec": 1.4}
     paper_ab = {"forwarding": 24.6, "routing": 24.6, "ipsec": 4.45}
     for name, app in cal.APPLICATIONS.items():
-        r64 = max_loss_free_rate(app, 64)
-        rab = max_loss_free_rate(app, abilene)
+        r64 = max_loss_free_rate(WorkloadSpec.fixed(64, app=app))
+        rab = max_loss_free_rate(WorkloadSpec.fixed(abilene, app=app))
         bottom.append({"application": name,
                        "rate_64b_gbps": r64.rate_gbps,
                        "paper_64b_gbps": paper_64[name],
@@ -149,8 +152,9 @@ def run_fig10() -> dict:
 def run_rb4_throughput() -> dict:
     """Sec. 6.2: RB4 routing performance, 64 B and Abilene."""
     rb4 = RouteBricksRouter()
-    r64 = rb4.max_throughput(64)
-    rab = rb4.max_throughput(cal.ABILENE_MEAN_PACKET_BYTES)
+    r64 = rb4.max_throughput(WorkloadSpec.fixed(64))
+    rab = rb4.max_throughput(
+        WorkloadSpec.fixed(cal.ABILENE_MEAN_PACKET_BYTES))
     rows = [
         {"workload": "64B", "aggregate_gbps": r64.aggregate_gbps,
          "paper_gbps": 12.0, "binding": r64.binding},

@@ -17,6 +17,7 @@ from .. import calibration as cal
 from ..errors import ConfigurationError
 from ..hw.presets import NEHALEM, NEHALEM_NEXT_GEN
 from ..perfmodel.throughput import max_loss_free_rate
+from ..workloads.spec import WorkloadSpec
 
 
 def perturbed_app(app: cal.AppCost, cpu_factor: float = 1.0,
@@ -50,14 +51,17 @@ def conclusions_at(cpu_factor: float = 1.0, mem_factor: float = 1.0,
     """
     apps = {name: perturbed_app(app, cpu_factor, mem_factor, io_factor)
             for name, app in cal.APPLICATIONS.items()}
-    results_64 = {name: max_loss_free_rate(app, 64, spec=NEHALEM)
+    results_64 = {name: max_loss_free_rate(WorkloadSpec.fixed(64, app=app),
+                                           spec=NEHALEM)
                   for name, app in apps.items()}
-    abilene = {name: max_loss_free_rate(app, cal.ABILENE_MEAN_PACKET_BYTES,
-                                        spec=NEHALEM)
+    abilene = {name: max_loss_free_rate(
+                   WorkloadSpec.fixed(cal.ABILENE_MEAN_PACKET_BYTES,
+                                      app=app),
+                   spec=NEHALEM)
                for name, app in apps.items()}
-    next_gen_routing = max_loss_free_rate(apps["routing"], 64,
-                                          spec=NEHALEM_NEXT_GEN,
-                                          nic_limited=False)
+    next_gen_routing = max_loss_free_rate(
+        WorkloadSpec.fixed(64, app=apps["routing"]),
+        spec=NEHALEM_NEXT_GEN, nic_limited=False)
     return {
         "cpu_bottleneck_64b": all(
             result.bottleneck == "cpu" for result in results_64.values()),

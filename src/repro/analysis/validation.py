@@ -20,11 +20,15 @@ from ..hw.presets import NEHALEM
 from ..hw.server import Server
 from ..perfmodel.loads import ServerConfig
 from ..perfmodel.throughput import max_loss_free_rate
+from ..results import RunResult
+from ..workloads.spec import WorkloadSpec
 
 
 @dataclass(frozen=True)
-class ValidationPoint:
+class ValidationPoint(RunResult):
     """One grid point: analytic prediction vs simulated measurement."""
+
+    _summary_fields = ("kp", "kn", "packet_bytes", "relative_error")
 
     kp: int
     kn: int
@@ -48,8 +52,9 @@ def validate_forwarding(grid: List[Tuple[int, int, int]] = None,
     points = []
     for kp, kn, size in grid:
         config = ServerConfig(kp=kp, kn=kn)
-        result = max_loss_free_rate(cal.MINIMAL_FORWARDING, size,
-                                    config=config, nic_limited=False)
+        result = max_loss_free_rate(
+            WorkloadSpec.fixed(size, app="forwarding"),
+            config=config, nic_limited=False)
         # The timed simulation models the CPU path (cores, polls, rings);
         # compare against the analytic CPU limit specifically -- at sizes
         # where another component binds first, the full solver would

@@ -7,6 +7,7 @@ Commands
 ``plan``         size a cluster for N external ports (Fig. 3 as a tool)
 ``server``       single-server saturation for an app / packet size
 ``rb4``          the 4-node cluster's operating points
+``faults``       graceful degradation: analytic curve or a scripted DES run
 ``trace``        generate or inspect pcap traces of the synthetic workloads
 """
 
@@ -56,6 +57,12 @@ def _cmd_plan(args) -> int:
     from .core.provision import SERVER_MODELS, cost_usd, provision
     from .core.topology import FullMesh, switched_cluster_equivalent_servers
 
+    if args.ports is None:
+        args.ports = args.ports_flag
+    if args.ports is None:
+        print("error: plan needs a port count (plan 4 or plan --ports 4)",
+              file=sys.stderr)
+        return 2
     rows = []
     for name in sorted(SERVER_MODELS):
         topo = provision(args.ports, name)
@@ -83,10 +90,12 @@ def _cmd_server(args) -> int:
 
     specs = {"nehalem": NEHALEM, "next-gen": NEHALEM_NEXT_GEN,
              "xeon": XEON_SHARED_BUS}
+    from .workloads import WorkloadSpec
+
     spec = specs[args.spec]
-    app = cal.APPLICATIONS[args.app]
-    result = max_loss_free_rate(app, args.size, spec=spec,
-                                nic_limited=not args.no_nic_limit)
+    result = max_loss_free_rate(
+        WorkloadSpec.fixed(args.size, app=args.app), spec=spec,
+        nic_limited=not args.no_nic_limit)
     print("%s @ %dB on %s:" % (args.app, args.size, spec.name))
     print("  max loss-free rate: %.2f Gbps (%.2f Mpps)"
           % (result.rate_gbps, result.rate_mpps))
@@ -100,12 +109,13 @@ def _cmd_server(args) -> int:
 def _cmd_rb4(args) -> int:
     from .core import RouteBricksRouter
     from .core.latency import latency_range_usec
+    from .workloads import WorkloadSpec
 
     router = RouteBricksRouter(num_nodes=args.nodes)
     rows = []
     for label, size in (("64B", 64),
                         ("abilene", cal.ABILENE_MEAN_PACKET_BYTES)):
-        result = router.max_throughput(size)
+        result = router.max_throughput(WorkloadSpec.fixed(size))
         rows.append({"workload": label,
                      "aggregate_gbps": result.aggregate_gbps,
                      "per_port_gbps": result.per_port_bps / 1e9,
@@ -155,6 +165,81 @@ def _cmd_power(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from .errors import ReproError
+    from .faults import (FaultSchedule, degradation_curve, linear_fraction,
+                         quadratic_fraction)
+
+    if args.action == "curve":
+        report = degradation_curve(
+            num_nodes=args.nodes,
+            uniform=not args.worst_case,
+            max_failed=args.max_failed)
+        ideal = quadratic_fraction if args.worst_case else linear_fraction
+        rows = [{"failed": p.failed_nodes, "live": p.live_nodes,
+                 "capacity_gbps": p.capacity_gbps,
+                 "fraction": p.capacity_fraction,
+                 "ideal": ideal(args.nodes, p.failed_nodes),
+                 "binding": p.binding}
+                for p in report.points]
+        print(format_table(rows, title="Degradation, %d nodes (%s traffic)"
+                           % (args.nodes,
+                              "worst-case" if args.worst_case else "uniform")))
+        return 0
+
+    # action == "run": scripted fault injection through the DES, with the
+    # control plane attached so convergence is visible.
+    from .core import RouteBricksRouter
+    from .core.control import ClusterManager
+    from .workloads import WorkloadSpec
+    from .workloads.matrices import uniform_matrix
+
+    duration = args.duration_ms * 1e-3
+    if args.schedule:
+        try:
+            with open(args.schedule) as handle:
+                schedule = FaultSchedule.from_json(handle.read())
+            schedule.validate(args.nodes)
+        except (OSError, ValueError, ReproError) as error:
+            print("error: cannot load fault schedule %r: %s"
+                  % (args.schedule, error), file=sys.stderr)
+            return 2
+    else:
+        victim = args.nodes - 1
+        schedule = (FaultSchedule()
+                    .crash_node(at=0.25 * duration, node=victim)
+                    .recover_node(at=0.6 * duration, node=victim))
+    router = RouteBricksRouter(num_nodes=args.nodes, seed=args.seed)
+    manager = ClusterManager(port_rate_bps=router.port_rate_bps)
+    for i in range(args.nodes):
+        manager.add_node(external_port=i)
+        manager.announce("10.%d.0.0/16" % i, i)
+    manager.push_fibs()
+    workload = WorkloadSpec.fixed(args.size).with_matrix(
+        uniform_matrix(args.nodes, router.port_rate_bps * args.load))
+    report = router.simulate(
+        workload, until=duration, faults=schedule, manager=manager,
+        detection_latency_sec=args.detection_usec * 1e-6)
+    print("cluster: %d nodes, %g%% uniform load, %d fault events"
+          % (args.nodes, args.load * 100, report.fault_events))
+    print("offered %d, delivered %d, dropped %d (delivery %.1f%%)"
+          % (report.offered_packets, report.delivered_packets,
+             report.dropped_packets, report.delivery_ratio * 100))
+    print("goodput: %.2f Gbps over %.2f ms"
+          % (report.delivered_bps / 1e9, report.duration_sec * 1e3))
+    for record in report.convergence:
+        print("  %s node %d at %.3f ms -> converged %.3f ms "
+              "(%.0f us, %d live)"
+              % (record.event, record.node, record.failed_at * 1e3,
+                 record.converged_at * 1e3,
+                 record.convergence_sec * 1e6, record.live_nodes))
+    stale = manager.stale_nodes()
+    print("control plane: %d live, %d failed, %s"
+          % (len(manager.live_nodes()), len(manager.failed_nodes()),
+             ("stale FIBs on %s" % stale) if stale else "all FIBs current"))
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from .workloads.abilene import AbileneTrace
     from .workloads.pcapio import save_trace
@@ -197,7 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser("plan", help="size a cluster for N ports")
-    p.add_argument("ports", type=int)
+    p.add_argument("ports", type=int, nargs="?", default=None)
+    p.add_argument("--ports", type=int, dest="ports_flag", default=None,
+                   help="alternative to the positional port count")
     p.set_defaults(func=_cmd_plan)
 
     p = sub.add_parser("server", help="single-server saturation")
@@ -221,6 +308,28 @@ def build_parser() -> argparse.ArgumentParser:
                    default="forwarding")
     p.add_argument("--servers", type=int, default=4)
     p.set_defaults(func=_cmd_power)
+
+    p = sub.add_parser("faults",
+                       help="fault injection and graceful degradation")
+    p.add_argument("action", nargs="?", choices=["curve", "run"],
+                   default="curve")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--size", type=float, default=1024,
+                   help="frame bytes (default 1024)")
+    p.add_argument("--worst-case", action="store_true",
+                   help="curve: worst-case matrix instead of uniform")
+    p.add_argument("--max-failed", type=int, default=None,
+                   help="curve: largest failure count to evaluate")
+    p.add_argument("--schedule",
+                   help="run: JSON fault schedule (default: crash+recover "
+                        "the last node)")
+    p.add_argument("--load", type=float, default=0.3,
+                   help="run: offered load as a fraction of port rate")
+    p.add_argument("--duration-ms", type=float, default=2.0)
+    p.add_argument("--detection-usec", type=float, default=100.0,
+                   help="run: peer/control failure-detection latency")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser("trace", help="generate/inspect pcap traces")
     p.add_argument("action", choices=["generate", "info"])

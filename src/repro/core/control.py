@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, TopologyError
 from ..net.addresses import Prefix
+from ..results import RunResult
 from ..routing.table import Route, RoutingTable
 from .mac_encoding import mac_trick_feasible
 
@@ -29,6 +30,29 @@ class NodeState:
     fib_version: int = 0
     fib: Optional[RoutingTable] = None
     alive: bool = True
+
+
+@dataclass(frozen=True)
+class ProvisionUpdate(RunResult):
+    """What the control plane recomputed after a membership/health change."""
+
+    _summary_fields = ("live_nodes", "failed_nodes", "capacity_gbps",
+                       "internal_link_rate_gbps")
+
+    live_nodes: int
+    failed_nodes: int
+    capacity_bps: float
+    internal_link_rate_bps: float
+    rib_version: int
+    fibs_pushed: bool
+
+    @property
+    def capacity_gbps(self) -> float:
+        return self.capacity_bps / 1e9
+
+    @property
+    def internal_link_rate_gbps(self) -> float:
+        return self.internal_link_rate_bps / 1e9
 
 
 class ClusterManager:
@@ -77,9 +101,77 @@ class ClusterManager:
     def nodes(self) -> List[int]:
         return sorted(self._nodes)
 
+    def live_nodes(self) -> List[int]:
+        """Members currently believed healthy."""
+        return sorted(node_id for node_id, state in self._nodes.items()
+                      if state.alive)
+
+    def failed_nodes(self) -> List[int]:
+        """Members marked down by the health layer (still cluster members;
+        their ports stay assigned, their routes drop out of the FIB)."""
+        return sorted(node_id for node_id, state in self._nodes.items()
+                      if not state.alive)
+
     @property
     def num_nodes(self) -> int:
         return len(self._nodes)
+
+    # -- health ---------------------------------------------------------------
+
+    def mark_failed(self, node_id: int) -> None:
+        """Record that ``node_id`` stopped responding.  Its routes leave
+        the compiled FIB (traffic to a dark port would be lost anyway),
+        so the master version is bumped and every live FIB goes stale."""
+        state = self._nodes.get(node_id)
+        if state is None:
+            raise ConfigurationError("no node %d" % node_id)
+        if not state.alive:
+            return
+        state.alive = False
+        self.rib_version += 1
+
+    def mark_recovered(self, node_id: int) -> None:
+        """A rebooted server rejoined: empty FIB, routes restored."""
+        state = self._nodes.get(node_id)
+        if state is None:
+            raise ConfigurationError("no node %d" % node_id)
+        if state.alive:
+            return
+        state.alive = True
+        state.fib = None           # reboot: it remembers nothing
+        state.fib_version = 0
+        self.rib_version += 1
+
+    def handle_node_failure(self, node_id: int,
+                            push: bool = True) -> ProvisionUpdate:
+        """Failure reaction: mark the node down, recompute provisioning,
+        and (by default) re-push FIBs to the survivors."""
+        self.mark_failed(node_id)
+        return self.reprovision(push=push)
+
+    def handle_node_recovery(self, node_id: int,
+                             push: bool = True) -> ProvisionUpdate:
+        """Recovery reaction: readmit the node and re-push FIBs."""
+        self.mark_recovered(node_id)
+        return self.reprovision(push=push)
+
+    def reprovision(self, push: bool = False) -> ProvisionUpdate:
+        """Recompute the cluster's operating parameters for the current
+        live membership (VLB's 2R/N internal-link requirement, aggregate
+        capacity), optionally distributing fresh FIBs."""
+        live = self.live_nodes()
+        if push:
+            self.push_fibs()
+        return ProvisionUpdate(
+            live_nodes=len(live),
+            failed_nodes=len(self.failed_nodes()),
+            capacity_bps=len(live) * self.port_rate_bps,
+            internal_link_rate_bps=(
+                2 * self.port_rate_bps / len(live) if len(live) >= 2
+                else float("nan")),
+            rib_version=self.rib_version,
+            fibs_pushed=push,
+        )
 
     def mesh_links(self) -> List[Tuple[int, int]]:
         """The directed internal links current membership requires."""
@@ -112,20 +204,31 @@ class ClusterManager:
         self.rib_version += 1
 
     def build_fib(self) -> RoutingTable:
-        """Compile the RIB into a node FIB (prefix -> owning node id)."""
+        """Compile the RIB into a node FIB (prefix -> owning node id).
+
+        Routes whose owning node is dead are excluded: until the port is
+        re-homed or the server recovers, those prefixes are unreachable
+        and advertising them would blackhole traffic inside the mesh.
+        """
         fib = RoutingTable()
         for prefix, port in self.rib.items():
             node_id = self._port_owner.get(port)
             if node_id is None:
                 continue  # orphaned route: owner was removed
+            if not self._nodes[node_id].alive:
+                continue  # owner is down: withhold until recovery
             fib.add_route(prefix, Route(port=node_id,
                                         next_hop=prefix.network))
         return fib
 
     def push_fibs(self) -> int:
-        """Distribute the compiled FIB to every node; returns the version."""
+        """Distribute the compiled FIB to every live node; returns the
+        version.  Dead nodes cannot receive a push -- they rejoin stale
+        and get a fresh table on recovery."""
         fib_template = self.build_fib()
         for state in self._nodes.values():
+            if not state.alive:
+                continue
             # Each node gets its own table instance (independent mutation
             # in tests mirrors independent memory in reality) built from
             # the same snapshot.
@@ -147,12 +250,14 @@ class ClusterManager:
     # -- consistency ------------------------------------------------------------
 
     def stale_nodes(self) -> List[int]:
-        """Nodes whose FIB lags the master RIB version."""
+        """Live nodes whose FIB lags the master RIB version (dead nodes
+        are unreachable, not stale -- they re-sync on recovery)."""
         return [node_id for node_id, state in sorted(self._nodes.items())
-                if state.fib is None or state.fib_version != self.rib_version]
+                if state.alive and (state.fib is None
+                                    or state.fib_version != self.rib_version)]
 
     def check_consistency(self, probes: List) -> bool:
-        """All nodes agree on the egress node for every probe address."""
+        """All live nodes agree on the egress node for every probe."""
         if not self._nodes:
             raise ConfigurationError("empty cluster")
         if self.stale_nodes():
@@ -160,6 +265,8 @@ class ClusterManager:
         for probe in probes:
             answers = set()
             for state in self._nodes.values():
+                if not state.alive:
+                    continue
                 route = state.fib.lookup(probe)
                 answers.add(None if route is None else route.port)
             if len(answers) > 1:
@@ -167,5 +274,5 @@ class ClusterManager:
         return True
 
     def capacity_bps(self) -> float:
-        """Aggregate external capacity of the current membership."""
-        return self.num_nodes * self.port_rate_bps
+        """Aggregate external capacity of the live membership."""
+        return len(self.live_nodes()) * self.port_rate_bps

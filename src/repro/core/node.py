@@ -49,6 +49,9 @@ class ClusterNode:
         self.egress_packets = 0
         self.intermediate_packets = 0
         self.dropped = 0
+        #: False once the server has crashed: every packet that touches
+        #: the node (arriving, queued, or scheduled inside it) is lost.
+        self.alive = True
         #: Next hops this node considers unreachable (failed peers or
         #: cables); path choice routes around them with purely local
         #: information, as VLB permits.
@@ -60,6 +63,30 @@ class ClusterNode:
         if dst_node_id == self.node_id:
             raise SimulationError("node cannot link to itself")
         self.links[dst_node_id] = link
+
+    # -- failure --------------------------------------------------------------
+
+    def fail(self) -> int:
+        """Crash this server.  Packets queued on its transmit links are
+        lost (counted here); anything later scheduled inside the node is
+        dropped on arrival.  Returns the number of packets flushed."""
+        self.alive = False
+        flushed = 0
+        for link in self.links.values():
+            flushed += link.flush()
+        if self.egress_link is not None:
+            flushed += self.egress_link.flush()
+        self.dropped += flushed
+        return flushed
+
+    def recover(self) -> None:
+        """Bring a crashed server back (state, e.g. flowlets, is fresh --
+        a rebooted server remembers nothing)."""
+        self.alive = True
+        if self.flowlets is not None:
+            self.flowlets = FlowletTable(
+                delta_sec=self.flowlets.delta_sec,
+                max_entries=self.flowlets.max_entries)
 
     # -- path choice ----------------------------------------------------------
 
@@ -110,6 +137,11 @@ class ClusterNode:
 
     def ingress(self, packet: Packet, egress_node: int) -> None:
         """A packet arrives on this node's external line."""
+        if not self.alive:
+            # A dead server's external port is dark: offered traffic is
+            # lost until the port is re-homed or the server recovers.
+            self.dropped += 1
+            return
         self.ingress_packets += 1
         packet.ingress_node = self.node_id
         packet.egress_node = egress_node
@@ -128,6 +160,10 @@ class ClusterNode:
                           lambda p=packet, h=first_hop: self._send(p, h))
 
     def _send(self, packet: Packet, next_hop: int) -> None:
+        if not self.alive:
+            # The server died while the packet was being processed.
+            self.dropped += 1
+            return
         if next_hop in self.failed_hops:
             # A dead cable: anything committed to it is lost.
             self.dropped += 1
@@ -141,6 +177,10 @@ class ClusterNode:
 
     def receive_internal(self, packet: Packet) -> None:
         """A packet arrives on an internal link."""
+        if not self.alive:
+            # In-flight delivery to a crashed server: lost.
+            self.dropped += 1
+            return
         output = decode_output_node(packet)
         packet.path.append(self.node_id)
         if output == self.node_id:
@@ -154,6 +194,9 @@ class ClusterNode:
                           lambda p=packet, h=output: self._send(p, h))
 
     def _egress(self, packet: Packet) -> None:
+        if not self.alive:
+            self.dropped += 1
+            return
         if self.egress_link is not None:
             if not self.egress_link.send(packet):
                 self.dropped += 1
@@ -161,6 +204,9 @@ class ClusterNode:
         self._egress_done(packet)
 
     def _egress_done(self, packet: Packet) -> None:
+        if not self.alive:
+            self.dropped += 1
+            return
         self.egress_packets += 1
         packet.departure_time = self.sim.now
         if self.egress_callback is not None:

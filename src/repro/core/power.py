@@ -62,10 +62,12 @@ def component_utilizations(app: cal.AppCost, packet_bytes: int = 64,
                            spec: ServerSpec = NEHALEM) -> Dict[str, float]:
     """Utilization of each component class at a fraction of saturation."""
     from ..perfmodel.throughput import max_loss_free_rate
+    from ..workloads.spec import WorkloadSpec
 
     if not 0 < offered_fraction <= 1:
         raise ConfigurationError("offered_fraction must be in (0, 1]")
-    result = max_loss_free_rate(app, packet_bytes, spec=spec)
+    result = max_loss_free_rate(WorkloadSpec.fixed(packet_bytes, app=app),
+                                spec=spec)
     offered_pps = result.rate_pps * offered_fraction
     utils = result.utilization_at(offered_pps)
     return {

@@ -15,6 +15,7 @@ Two complementary views:
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -24,6 +25,7 @@ from ..hw.presets import NEHALEM
 from ..hw.server import ServerSpec
 from ..net.packet import Packet
 from ..perfmodel.loads import DEFAULT_CONFIG, ServerConfig
+from ..results import RunResult
 from ..simnet.engine import Simulator
 from ..simnet.links import Link
 from ..simnet.stats import Histogram
@@ -40,8 +42,10 @@ RB4_NIC_EFFECTIVE_BPS = gbps(11.67)
 
 
 @dataclass(frozen=True)
-class ClusterThroughput:
+class ClusterThroughput(RunResult):
     """Analytic throughput of the cluster for one workload."""
+
+    _summary_fields = ("aggregate_gbps", "per_port_bps", "binding")
 
     aggregate_bps: float
     per_port_bps: float
@@ -55,8 +59,11 @@ class ClusterThroughput:
 
 
 @dataclass
-class SimulationReport:
+class SimulationReport(RunResult):
     """Results of a packet-level cluster run."""
+
+    _summary_fields = ("offered_packets", "delivered_packets",
+                       "dropped_packets", "reordered_fraction")
 
     offered_packets: int = 0
     delivered_packets: int = 0
@@ -70,6 +77,11 @@ class SimulationReport:
     resequencer_held: int = 0
     resequencer_timeouts: int = 0
     node_stats: List[dict] = field(default_factory=list)
+    delivered_bytes: int = 0
+    duration_sec: float = 0.0
+    fault_events: int = 0
+    fault_flushed_packets: int = 0
+    convergence: List = field(default_factory=list)
 
     @property
     def delivery_ratio(self) -> float:
@@ -80,6 +92,12 @@ class SimulationReport:
     def indirect_fraction(self) -> float:
         total = self.direct_packets + self.indirect_packets
         return self.indirect_packets / total if total else 0.0
+
+    @property
+    def delivered_bps(self) -> float:
+        """Goodput over the measured window (external-line bits out)."""
+        return (self.delivered_bytes * 8 / self.duration_sec
+                if self.duration_sec > 0 else 0.0)
 
 
 class RouteBricksRouter:
@@ -129,10 +147,15 @@ class RouteBricksRouter:
         return (ingress + forwarding
                 + indirect_fraction * forwarding + overhead)
 
-    def max_throughput(self, packet_bytes: float,
+    def max_throughput(self, workload,
                        uniform: bool = True,
                        ingress_app: cal.AppCost = None) -> ClusterThroughput:
-        """Analytic loss-free throughput for fixed/mean packet size.
+        """Analytic loss-free throughput for a workload.
+
+        ``workload`` is a :class:`~repro.workloads.WorkloadSpec` (its
+        size mix supplies the mean packet size and its ``app`` the
+        ingress application; an explicit ``ingress_app`` overrides).
+        Passing a bare packet size is deprecated but still works.
 
         With a close-to-uniform matrix and adaptive Direct VLB, per-pair
         demand R/(N-1) stays below the internal link rate, so everything
@@ -140,6 +163,18 @@ class RouteBricksRouter:
         experiments ran in.  A worst-case matrix forces the full two-phase
         tax (one extra forwarding per packet, links carry 2R/N each way).
         """
+        from ..workloads.spec import WorkloadSpec
+
+        if isinstance(workload, WorkloadSpec):
+            packet_bytes = workload.mean_packet_bytes
+            if ingress_app is None:
+                ingress_app = workload.app
+        else:
+            warnings.warn(
+                "max_throughput(packet_bytes) is deprecated; pass a "
+                "repro.workloads.WorkloadSpec instead",
+                DeprecationWarning, stacklevel=2)
+            packet_bytes = float(workload)
         n = self.num_nodes
         indirect = 0.0 if uniform else 1.0
         cycles = self._cycles_per_ingress_packet(packet_bytes, indirect,
@@ -206,30 +241,76 @@ class RouteBricksRouter:
         return sim, nodes
 
     def simulate(self,
-                 events: Iterable[Tuple[float, int, int, Packet]],
+                 events,
                  until: Optional[float] = None,
                  rate_limited_egress: bool = False,
-                 failed_links: Iterable[Tuple[int, int]] = ()) -> SimulationReport:
+                 failed_links: Iterable[Tuple[int, int]] = (),
+                 faults=None,
+                 manager=None,
+                 detection_latency_sec: Optional[float] = None,
+                 fib_push_latency_sec: float = 0.0) -> SimulationReport:
         """Run traffic through the cluster.
 
-        ``events`` yields (time, ingress node, egress node, packet); the
-        report covers reordering (per the Sec. 6.2 metric), latency, and
-        path statistics.  ``failed_links`` marks directed (src, dst)
-        internal cables as down from the start: nodes route around them
-        with local information only (packets already committed to a dead
-        first hop at a transit node are lost, as in reality).
+        ``events`` yields (time, ingress node, egress node, packet) -- or
+        is a :class:`~repro.workloads.WorkloadSpec` carrying a traffic
+        matrix, realized over the ``until`` horizon.  The report covers
+        reordering (per the Sec. 6.2 metric), latency, goodput, and path
+        statistics.
+
+        ``failed_links`` marks directed (src, dst) internal cables as
+        down from the start.  ``faults`` scripts *timed* failures: a
+        :class:`~repro.faults.FaultSchedule` (or its dict/JSON-dict
+        form).  Crashed nodes lose their queued and in-flight packets;
+        peers detect the failure after ``detection_latency_sec`` and
+        Direct VLB re-balances around it with local information only.
+        With a :class:`~repro.core.control.ClusterManager` as
+        ``manager``, node failures also trigger the control-plane
+        reaction (reprovision + FIB re-push) and each reaction's
+        convergence record lands in ``report.convergence``.
         """
+        from ..workloads.spec import WorkloadSpec
+
+        if isinstance(events, WorkloadSpec):
+            workload = events
+            if workload.matrix is None:
+                raise ConfigurationError(
+                    "workload %r has no traffic matrix; use with_matrix()"
+                    % workload.name)
+            if workload.matrix.n != self.num_nodes:
+                raise ConfigurationError(
+                    "workload matrix is %dx%d but the cluster has %d nodes"
+                    % (workload.matrix.n, workload.matrix.n, self.num_nodes))
+            if until is None:
+                raise ConfigurationError(
+                    "simulating a WorkloadSpec needs an explicit horizon "
+                    "(until=...)")
+            events = workload.events(until)
         sim, nodes = self.build_simulation(rate_limited_egress)
         for src, dst in failed_links:
             if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
                 raise ConfigurationError("bad failed link (%r, %r)"
                                          % (src, dst))
             nodes[src].failed_hops.add(dst)
+        injector = None
+        if faults is not None:
+            from ..faults.inject import (DEFAULT_DETECTION_LATENCY_SEC,
+                                         FaultInjector)
+            from ..faults.schedule import FaultSchedule
+            if not isinstance(faults, FaultSchedule):
+                faults = FaultSchedule.from_dict(faults)
+            injector = FaultInjector(
+                sim, nodes, faults, manager=manager,
+                detection_latency_sec=(
+                    DEFAULT_DETECTION_LATENCY_SEC
+                    if detection_latency_sec is None
+                    else detection_latency_sec),
+                fib_push_latency_sec=fib_push_latency_sec)
         report = SimulationReport()
         meter = ReorderingMeter()
 
         def on_egress(packet: Packet, now: float) -> None:
             report.delivered_packets += 1
+            report.delivered_bytes += packet.length
             meter.observe(packet)
             report.latency_usec.observe(to_usec(now - packet.arrival_time))
             if len(packet.path) <= 2:
@@ -287,9 +368,15 @@ class RouteBricksRouter:
 
         # node.dropped already counts failed sends on both internal links
         # and the external line (the link's own drop counter double-books
-        # the same event, so it is not summed here).
+        # the same event, so it is not summed here).  Fault flushes land
+        # in node.dropped too, so the injector counter is informational.
         report.dropped_packets = sum(node.dropped for node in nodes)
         report.reordered_fraction = meter.reordered_fraction()
+        report.duration_sec = sim.now
+        if injector is not None:
+            report.fault_events = injector.log.events_applied
+            report.fault_flushed_packets = injector.log.flushed_packets
+            report.convergence = list(injector.log.convergence)
         for node in nodes:
             report.node_stats.append({
                 "node": node.node_id,

@@ -18,6 +18,7 @@ from ..errors import ConfigurationError
 from ..hw.presets import NEHALEM
 from ..hw.server import ServerSpec
 from ..perfmodel.throughput import max_loss_free_rate
+from ..workloads.spec import WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -51,8 +52,8 @@ def processing_capacity_bps(workload: str = "realistic",
         size = 64
     else:
         raise ConfigurationError("workload must be realistic|worst-case")
-    app = cal.APPLICATIONS[app_name]
-    return max_loss_free_rate(app, size, spec=spec).rate_bps
+    return max_loss_free_rate(WorkloadSpec.fixed(size, app=app_name),
+                              spec=spec).rate_bps
 
 
 def ports_per_server(port_rate_bps: float, workload: str = "realistic",

@@ -1,0 +1,58 @@
+"""Fault injection and graceful degradation for the cluster router.
+
+Three layers:
+
+* :mod:`repro.faults.schedule` -- the :class:`FaultSchedule` DSL: timed
+  server crash/recover, internal-link down/up (and flapping), and
+  NIC-queue stall events, scriptable or loadable from dict/JSON;
+* :mod:`repro.faults.inject` -- :class:`FaultInjector`, which applies a
+  schedule to a running DES (and, optionally, drives the
+  :class:`~repro.core.control.ClusterManager` reaction with a
+  configurable detection latency so convergence time is measurable);
+* :mod:`repro.faults.degradation` -- the analytic capacity-vs-failures
+  model the packet-level results are checked against.
+"""
+
+from .degradation import (
+    DegradationPoint,
+    DegradationReport,
+    degradation_curve,
+    linear_fraction,
+    quadratic_fraction,
+)
+from .inject import (
+    DEFAULT_DETECTION_LATENCY_SEC,
+    ConvergenceRecord,
+    FaultInjector,
+    FaultLog,
+)
+from .schedule import (
+    KINDS,
+    LINK_DOWN,
+    LINK_UP,
+    NIC_STALL,
+    NODE_DOWN,
+    NODE_UP,
+    FaultEvent,
+    FaultSchedule,
+)
+
+__all__ = [
+    "DegradationPoint",
+    "DegradationReport",
+    "degradation_curve",
+    "linear_fraction",
+    "quadratic_fraction",
+    "DEFAULT_DETECTION_LATENCY_SEC",
+    "ConvergenceRecord",
+    "FaultInjector",
+    "FaultLog",
+    "KINDS",
+    "LINK_DOWN",
+    "LINK_UP",
+    "NIC_STALL",
+    "NODE_DOWN",
+    "NODE_UP",
+    "FaultEvent",
+    "FaultSchedule",
+]

@@ -13,6 +13,7 @@ from typing import Iterable, List, Tuple
 from .. import calibration as cal
 from ..hw.presets import NEHALEM
 from ..hw.server import ServerSpec
+from ..workloads.spec import WorkloadSpec
 from .loads import ServerConfig
 from .throughput import max_loss_free_rate
 
@@ -21,8 +22,9 @@ def batching_rate_bps(kp: int, kn: int, packet_bytes: int = 64,
                       spec: ServerSpec = NEHALEM) -> float:
     """Loss-free forwarding rate at a given batching configuration."""
     config = ServerConfig(multi_queue=True, kp=kp, kn=kn)
-    result = max_loss_free_rate(cal.MINIMAL_FORWARDING, packet_bytes,
-                                spec=spec, config=config)
+    result = max_loss_free_rate(
+        WorkloadSpec.fixed(packet_bytes, app="forwarding"),
+        spec=spec, config=config)
     return result.rate_bps
 
 

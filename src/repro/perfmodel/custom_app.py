@@ -86,9 +86,10 @@ def predict(app: cal.AppCost, packet_bytes: int = 64,
     ``cluster_nodes`` is given -- the aggregate a RouteBricks cluster of
     that size would reach running this application at its input nodes.
     """
+    from ..workloads.spec import WorkloadSpec
     from .throughput import max_loss_free_rate
 
-    result = max_loss_free_rate(app, packet_bytes)
+    result = max_loss_free_rate(WorkloadSpec.fixed(packet_bytes, app=app))
     out = {
         "application": app.name,
         "packet_bytes": packet_bytes,

@@ -17,6 +17,7 @@ from .. import calibration as cal
 from ..hw.presets import NEHALEM, NEHALEM_NEXT_GEN
 from ..hw.server import ServerSpec
 from ..units import rate_pps_to_bps
+from ..workloads.spec import WorkloadSpec
 from .loads import DEFAULT_CONFIG, ServerConfig, per_packet_loads
 from .throughput import RateResult, max_loss_free_rate
 
@@ -32,10 +33,10 @@ def project_rates(spec: ServerSpec = NEHALEM_NEXT_GEN,
     """
     results = {}
     for name, app in cal.APPLICATIONS.items():
-        results[name] = max_loss_free_rate(app, packet_bytes, spec=spec,
-                                           config=config,
-                                           empirical_bounds=True,
-                                           nic_limited=False)
+        results[name] = max_loss_free_rate(
+            WorkloadSpec.fixed(packet_bytes, app=app),
+            spec=spec, config=config, empirical_bounds=True,
+            nic_limited=False)
     return results
 
 

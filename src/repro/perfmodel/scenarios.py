@@ -25,6 +25,7 @@ from typing import Dict, List
 from .. import calibration as cal
 from ..hw.presets import NEHALEM, XEON_SHARED_BUS
 from ..units import rate_pps_to_bps
+from ..workloads.spec import WorkloadSpec
 from .loads import ServerConfig
 from .throughput import max_loss_free_rate
 
@@ -141,8 +142,9 @@ def fig7_configurations(packet_bytes: int = 64) -> List[dict]:
     ]
     rows = []
     for label, spec, config in cases:
-        result = max_loss_free_rate(cal.MINIMAL_FORWARDING, packet_bytes,
-                                    spec=spec, config=config)
+        result = max_loss_free_rate(
+            WorkloadSpec.fixed(packet_bytes, app="forwarding"),
+            spec=spec, config=config)
         rows.append({"label": label, "rate_mpps": result.rate_mpps,
                      "rate_gbps": result.rate_gbps,
                      "bottleneck": result.bottleneck})

@@ -15,6 +15,7 @@ from ..errors import ConfigurationError
 from ..hw.presets import NEHALEM
 from ..hw.server import ServerSpec
 from .loads import DEFAULT_CONFIG, ServerConfig
+from ..workloads.spec import WorkloadSpec
 from .throughput import RateResult, max_loss_free_rate
 
 DEFAULT_SIZES = (64, 128, 256, 512, 1024, 1500)
@@ -27,7 +28,8 @@ def size_sweep(app: cal.AppCost, sizes: Iterable[int] = DEFAULT_SIZES,
     """Loss-free rate vs packet size for one application."""
     rows = []
     for size in sizes:
-        result = max_loss_free_rate(app, size, spec=spec, config=config,
+        result = max_loss_free_rate(WorkloadSpec.fixed(size, app=app),
+                                    spec=spec, config=config,
                                     nic_limited=nic_limited)
         rows.append({"packet_bytes": size, "rate_gbps": result.rate_gbps,
                      "rate_mpps": result.rate_mpps,
@@ -38,8 +40,9 @@ def size_sweep(app: cal.AppCost, sizes: Iterable[int] = DEFAULT_SIZES,
 def app_sweep(packet_bytes: int = 64, spec: ServerSpec = NEHALEM,
               config: ServerConfig = DEFAULT_CONFIG) -> Dict[str, RateResult]:
     """All three applications at one packet size."""
-    return {name: max_loss_free_rate(app, packet_bytes, spec=spec,
-                                     config=config)
+    return {name: max_loss_free_rate(
+                WorkloadSpec.fixed(packet_bytes, app=app),
+                spec=spec, config=config)
             for name, app in cal.APPLICATIONS.items()}
 
 
@@ -52,9 +55,9 @@ def batching_grid(kps: Iterable[int] = (1, 2, 4, 8, 16, 32),
     for kp in kps:
         for kn in kns:
             config = ServerConfig(kp=kp, kn=kn)
-            result = max_loss_free_rate(cal.MINIMAL_FORWARDING,
-                                        packet_bytes, spec=spec,
-                                        config=config)
+            result = max_loss_free_rate(
+                WorkloadSpec.fixed(packet_bytes, app="forwarding"),
+                spec=spec, config=config)
             rows.append({"kp": kp, "kn": kn,
                          "rate_gbps": result.rate_gbps})
     return rows
@@ -73,7 +76,8 @@ def bottleneck_crossover_bytes(app: cal.AppCost,
         raise ConfigurationError("need lo < hi")
 
     def cpu_bound(size: int) -> bool:
-        return max_loss_free_rate(app, size, spec=spec,
+        return max_loss_free_rate(WorkloadSpec.fixed(size, app=app),
+                                  spec=spec,
                                   config=config).bottleneck == "cpu"
 
     if not cpu_bound(lo):

@@ -14,21 +14,26 @@ for large packets (Fig. 8).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from .. import calibration as cal
 from ..errors import ConfigurationError
 from ..hw.presets import NEHALEM
 from ..hw.server import ServerSpec
+from ..results import RunResult
 from ..units import rate_pps_to_bps
 from .bounds import bounds_for
 from .loads import DEFAULT_CONFIG, LoadVector, ServerConfig, per_packet_loads
 
 
 @dataclass(frozen=True)
-class RateResult:
+class RateResult(RunResult):
     """The solver's answer for one (server, app, packet size) point."""
+
+    _summary_fields = ("rate_gbps", "rate_mpps", "bottleneck",
+                       "packet_bytes")
 
     rate_bps: float
     rate_pps: float
@@ -84,18 +89,41 @@ def _component_rate_limits(loads: LoadVector, spec: ServerSpec,
     return limits
 
 
-def max_loss_free_rate(app: cal.AppCost, packet_bytes: float,
+def max_loss_free_rate(workload: "Union[WorkloadSpec, cal.AppCost]",
+                       packet_bytes: Optional[float] = None,
                        spec: ServerSpec = NEHALEM,
                        config: ServerConfig = DEFAULT_CONFIG,
                        empirical_bounds: bool = True,
                        nic_limited: bool = True) -> RateResult:
     """Solve for the maximum loss-free forwarding rate.
 
+    ``workload`` is a :class:`~repro.workloads.spec.WorkloadSpec` (its
+    application and mean packet size drive the solver; per-packet costs
+    are affine in size, so the mean is exact for rate computations).  The
+    historical ``max_loss_free_rate(app, packet_bytes)`` form still works
+    but is deprecated.
+
     ``empirical_bounds`` uses the benchmark-derived (Table 2, right column)
     bus capacities instead of nominal ratings.  ``nic_limited`` applies the
     physical NIC-slot input cap (the paper's 24.6 Gbps traffic-generation
     limit); disable it to ask what the server internals alone could do.
     """
+    from ..workloads.spec import WorkloadSpec
+    if isinstance(workload, WorkloadSpec):
+        if packet_bytes is not None:
+            raise ConfigurationError(
+                "pass the packet size inside the WorkloadSpec, not both")
+        app = workload.app
+        packet_bytes = workload.mean_packet_bytes
+    else:
+        warnings.warn(
+            "max_loss_free_rate(app, packet_bytes) is deprecated; pass a "
+            "repro.workloads.WorkloadSpec instead",
+            DeprecationWarning, stacklevel=2)
+        app = workload
+        if packet_bytes is None:
+            raise ConfigurationError("packet size required with the "
+                                     "deprecated (app, size) form")
     if packet_bytes <= 0:
         raise ConfigurationError("packet size must be positive")
     loads = per_packet_loads(app, packet_bytes, config, spec)
@@ -114,10 +142,18 @@ def max_loss_free_rate(app: cal.AppCost, packet_bytes: float,
     )
 
 
-def saturation_throughput(app: cal.AppCost, mean_packet_bytes: float,
+def saturation_throughput(workload, mean_packet_bytes: float = None,
                           spec: ServerSpec = NEHALEM,
                           config: ServerConfig = DEFAULT_CONFIG) -> RateResult:
     """Convenience wrapper for trace workloads: uses the trace's mean
     packet size (per-packet costs are affine in size, so the mean is exact
-    for rate computations)."""
-    return max_loss_free_rate(app, mean_packet_bytes, spec, config)
+    for rate computations).  Accepts a WorkloadSpec or the deprecated
+    ``(app, mean_packet_bytes)`` pair."""
+    from ..workloads.spec import WorkloadSpec
+    if not isinstance(workload, WorkloadSpec):
+        warnings.warn(
+            "saturation_throughput(app, mean_bytes) is deprecated; pass a "
+            "repro.workloads.WorkloadSpec instead",
+            DeprecationWarning, stacklevel=2)
+        workload = WorkloadSpec.fixed(mean_packet_bytes, app=workload)
+    return max_loss_free_rate(workload, spec=spec, config=config)

@@ -1,0 +1,106 @@
+"""Unified run/result objects.
+
+Every experiment entry point in the library (the analytic solvers, the
+cluster DES, the analysis harnesses, the fault-injection layer) returns a
+:class:`RunResult` subclass.  The base class gives every result the same
+two affordances:
+
+* :meth:`RunResult.to_dict` -- a plain, JSON-serializable dictionary
+  (histograms collapse to their quantile summary, numpy arrays to lists,
+  nested results recurse), suitable for logging, tables, or regression
+  baselines;
+* :meth:`RunResult.summary` -- a one-line human-readable digest, built
+  from the fields a subclass names in ``_summary_fields`` (or overridden
+  outright).
+
+Subclasses stay ordinary (often frozen) dataclasses with their historical
+attribute names -- adopting the base class adds behavior without breaking
+any caller that reads ``result.rate_gbps`` or ``report.delivered_packets``
+directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Sequence, Tuple
+
+
+def _convert(value: Any) -> Any:
+    """Best-effort conversion of a field value to JSON-friendly data."""
+    if isinstance(value, RunResult):
+        return value.to_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _convert(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _convert(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_convert(v) for v in value]
+    # numpy scalars/arrays without importing numpy here.
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    # Histograms (and anything else exposing a quantile summary).
+    if hasattr(value, "percentile") and hasattr(value, "__len__"):
+        if len(value) == 0:
+            return {"count": 0}
+        return {"count": len(value),
+                "mean": value.mean(),
+                "p50": value.percentile(50),
+                "p95": value.percentile(95),
+                "p99": value.percentile(99)}
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    # Named objects (AppCost, ServerSpec, policies) reduce to their name.
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return name
+    return repr(value)
+
+
+def _format(value: Any) -> str:
+    """Compact scalar rendering for one-line summaries."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return "%.3g" % value
+        return ("%.3f" % value).rstrip("0").rstrip(".")
+    return str(value)
+
+
+class RunResult:
+    """Base class for every result object the library returns.
+
+    Subclasses are dataclasses; the base class is deliberately stateless
+    so frozen dataclasses can inherit it.
+    """
+
+    #: Field names (or property names) the default one-line summary shows.
+    _summary_fields: Tuple[str, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        """Stable machine-readable tag for the result type."""
+        return type(self).__name__
+
+    def _field_names(self) -> Sequence[str]:
+        if dataclasses.is_dataclass(self):
+            return [f.name for f in dataclasses.fields(self)]
+        return sorted(vars(self))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The result as plain, JSON-serializable data."""
+        data: Dict[str, Any] = {"kind": self.kind}
+        for name in self._field_names():
+            data[name] = _convert(getattr(self, name))
+        return data
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        names = self._summary_fields or tuple(self._field_names())[:4]
+        parts = ["%s=%s" % (name, _format(getattr(self, name)))
+                 for name in names]
+        return "%s(%s)" % (self.kind, ", ".join(parts))
+
+    def __str__(self) -> str:  # repr stays the dataclass default
+        return self.summary()

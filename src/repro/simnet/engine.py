@@ -29,6 +29,16 @@ class Event:
         self.cancelled = True
 
 
+class PeriodicTask:
+    """Handle for a :meth:`Simulator.schedule_every` chain."""
+
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
 class Simulator:
     """A discrete-event simulator with a monotonically advancing clock."""
 
@@ -56,6 +66,28 @@ class Simulator:
         event = Event(time=time, seq=next(self._seq), callback=callback)
         heapq.heappush(self._heap, event)
         return event
+
+    def schedule_every(self, interval: float, callback: Callable[[], None],
+                       until: Optional[float] = None,
+                       start_delay: Optional[float] = None) -> "PeriodicTask":
+        """Run ``callback`` every ``interval`` seconds (heartbeats, health
+        probes).  Rescheduling stops after ``until`` (absolute time) or
+        once the returned task's :meth:`~PeriodicTask.cancel` is called.
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        task = PeriodicTask()
+
+        def tick():
+            if task.cancelled:
+                return
+            callback()
+            if until is None or self.now + interval <= until:
+                self.schedule(interval, tick)
+
+        first_delay = interval if start_delay is None else start_delay
+        self.schedule(first_delay, tick)
+        return task
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None if the queue is empty."""

@@ -39,6 +39,7 @@ class Link:
         self.propagation_sec = propagation_sec
         self.queue = FiniteQueue(queue_packets, name=name + ".q")
         self.busy = False
+        self.stalled = False
         self.bytes_sent = 0
         self.packets_sent = 0
 
@@ -55,6 +56,11 @@ class Link:
         return True
 
     def _start_next(self) -> None:
+        if self.stalled:
+            # A stalled transmit queue (e.g. a wedged NIC ring): packets
+            # keep queueing -- and overflowing -- until resume().
+            self.busy = False
+            return
         packet = self.queue.poll()
         if packet is None:
             self.busy = False
@@ -69,6 +75,34 @@ class Link:
 
     def _finish_tx(self) -> None:
         self._start_next()
+
+    def stall(self, duration_sec: float) -> None:
+        """Stop draining the transmit queue for ``duration_sec``.
+
+        In-flight serialization finishes; queued packets wait (or
+        overflow).  Models a NIC transmit-queue stall.
+        """
+        if duration_sec <= 0:
+            raise ConfigurationError("stall duration must be positive")
+        self.stalled = True
+        self.sim.schedule(duration_sec, self.resume)
+
+    def resume(self) -> None:
+        """Restart transmission after a stall (idempotent)."""
+        if not self.stalled:
+            return
+        self.stalled = False
+        if not self.busy:
+            self._start_next()
+
+    def flush(self) -> int:
+        """Discard everything queued (a cut cable); returns the count."""
+        dropped = 0
+        while True:
+            packet = self.queue.poll()
+            if packet is None:
+                return dropped
+            dropped += 1
 
     def utilization(self, elapsed_sec: float) -> float:
         """Fraction of link capacity used over ``elapsed_sec``."""

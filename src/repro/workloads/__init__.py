@@ -15,8 +15,11 @@ from .imix import ImixWorkload, MIXES
 from .churn import ChurnGenerator, Update
 from .cluster_traffic import matrix_events, offered_packets
 from .pcapio import load_trace, save_trace
+from .spec import WorkloadSpec, resolve_app
 
 __all__ = [
+    "WorkloadSpec",
+    "resolve_app",
     "FixedSizeWorkload",
     "PacketSource",
     "AbileneTrace",

@@ -21,12 +21,18 @@ from .matrices import TrafficMatrix
 
 def matrix_events(matrix: TrafficMatrix, duration_sec: float,
                   packet_bytes: int = 740, flows_per_pair: int = 4,
-                  seed: int = 0) -> Iterator[Tuple[float, int, int, Packet]]:
+                  seed: int = 0, size_mix=None) \
+        -> Iterator[Tuple[float, int, int, Packet]]:
     """Yield (time, ingress, egress, packet) events realizing ``matrix``.
 
     Each nonzero demand entry runs an independent Poisson process at its
     rate; events from all pairs are merged in time order.  Per-flow
     sequence numbers are stamped so reordering can be measured.
+
+    ``size_mix`` (optional (size, weight) pairs, e.g. from a
+    :class:`~repro.workloads.spec.WorkloadSpec`) draws per-packet frame
+    sizes from a distribution; pair rates are then set by the mix's mean
+    size so the bits/second demand is still honored in expectation.
     """
     if duration_sec <= 0:
         raise ConfigurationError("duration must be positive")
@@ -35,6 +41,18 @@ def matrix_events(matrix: TrafficMatrix, duration_sec: float,
     if flows_per_pair < 1:
         raise ConfigurationError("need >= 1 flow per pair")
     rng = random.Random(seed)
+    if size_mix is not None:
+        sizes = [size for size, _ in size_mix]
+        weights = [weight for _, weight in size_mix]
+        if not sizes or min(sizes) < 64 or min(weights) < 0 \
+                or sum(weights) <= 0:
+            raise ConfigurationError("bad size mix %r" % (size_mix,))
+        mean_bytes = (sum(s * w for s, w in size_mix) / sum(weights))
+        if len(sizes) == 1:
+            size_mix = None
+            packet_bytes = sizes[0]
+        else:
+            packet_bytes = mean_bytes
     packet_bits = packet_bytes * 8
 
     # Per-pair state: mean gap, flow pool, per-flow sequence counters.
@@ -67,7 +85,9 @@ def matrix_events(matrix: TrafficMatrix, duration_sec: float,
         state = pair_state[(src, dst)]
         flow_index = rng.randrange(len(state["flows"]))
         fsrc, fdst, sport, dport = state["flows"][flow_index]
-        packet = Packet.udp(fsrc, fdst, length=packet_bytes,
+        length = int(round(rng.choices(sizes, weights=weights)[0]
+                           if size_mix is not None else packet_bytes))
+        packet = Packet.udp(fsrc, fdst, length=length,
                             src_port=sport, dst_port=dport)
         state["seq"][flow_index] += 1
         packet.flow_seq = state["seq"][flow_index]

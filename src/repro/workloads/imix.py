@@ -78,9 +78,9 @@ class ImixWorkload(PacketSource):
 def imix_rate_gbps(app_name: str = "forwarding", mix: str = "simple") -> float:
     """Loss-free rate for an application under a named IMIX (by mean size,
     exact for the affine cost model)."""
-    from .. import calibration as cal
     from ..perfmodel.throughput import max_loss_free_rate
+    from .spec import WorkloadSpec
 
-    app = cal.APPLICATIONS[app_name]
-    mean = mix_mean_bytes(MIXES[mix] if isinstance(mix, str) else mix)
-    return max_loss_free_rate(app, mean).rate_gbps
+    mix = MIXES[mix] if isinstance(mix, str) else mix
+    return max_loss_free_rate(
+        WorkloadSpec.imix(mix, app=app_name)).rate_gbps

@@ -43,6 +43,44 @@ class TestCli:
         assert "12.00" in out
         assert "47.6" in out
 
+    def test_plan_ports_flag(self, capsys):
+        assert main(["plan", "--ports", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "N=4 ports" in out
+
+    def test_plan_without_ports_errors(self, capsys):
+        assert main(["plan"]) == 2
+        assert "port count" in capsys.readouterr().err
+
+    def test_faults_curve(self, capsys):
+        assert main(["faults", "curve", "--nodes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Degradation, 8 nodes" in out
+        assert "uniform" in out
+
+    def test_faults_curve_is_default_action(self, capsys):
+        assert main(["faults"]) == 0
+        assert "Degradation" in capsys.readouterr().out
+
+    def test_faults_run_default_schedule(self, capsys):
+        assert main(["faults", "run", "--nodes", "4", "--duration-ms", "1",
+                     "--load", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 fault events" in out
+        assert "node_down" in out and "node_up" in out
+        assert "all FIBs current" in out
+
+    def test_faults_run_schedule_file(self, capsys, tmp_path):
+        from repro.faults import FaultSchedule
+        path = tmp_path / "faults.json"
+        path.write_text(FaultSchedule()
+                        .crash_node(at=0.2e-3, node=1).to_json())
+        assert main(["faults", "run", "--nodes", "4", "--duration-ms", "1",
+                     "--load", "0.2", "--schedule", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 fault events" in out
+        assert "1 failed" in out
+
     def test_trace_generate_and_info(self, capsys, tmp_path):
         path = str(tmp_path / "t.pcap")
         assert main(["trace", "generate", path, "--packets", "500"]) == 0

@@ -103,6 +103,104 @@ class TestFibDistribution:
             manager.fib_of(0)
 
 
+class TestHealthReaction:
+    def test_mark_failed_pulls_routes_and_marks_stale(self, cluster):
+        cluster.mark_failed(3)
+        assert cluster.failed_nodes() == [3]
+        assert cluster.live_nodes() == [0, 1, 2]
+        # The bump makes every live FIB stale; node 3 is dead, not stale.
+        assert cluster.stale_nodes() == [0, 1, 2]
+        cluster.push_fibs()
+        assert cluster.stale_nodes() == []
+        # The dead node's prefix is withheld from the compiled FIB.
+        assert cluster.fib_of(0).lookup("10.3.1.1") is None
+        assert cluster.fib_of(0).lookup("10.2.1.1").port == 2
+
+    def test_mark_failed_idempotent(self, cluster):
+        cluster.mark_failed(3)
+        version = cluster.rib_version
+        cluster.mark_failed(3)
+        assert cluster.rib_version == version
+
+    def test_unknown_node_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            cluster.mark_failed(9)
+        with pytest.raises(ConfigurationError):
+            cluster.mark_recovered(9)
+
+    def test_recovery_restores_routes_after_push(self, cluster):
+        cluster.handle_node_failure(3)
+        assert cluster.fib_of(0).lookup("10.3.1.1") is None
+        update = cluster.handle_node_recovery(3)
+        assert update.live_nodes == 4
+        assert cluster.fib_of(0).lookup("10.3.1.1").port == 3
+        # The rebooted node got a fresh table too.
+        assert cluster.fib_of(3).lookup("10.0.1.1").port == 0
+        assert cluster.stale_nodes() == []
+
+    def test_failure_shrinks_capacity_and_raises_link_requirement(
+            self, cluster):
+        before = cluster.reprovision()
+        after = cluster.handle_node_failure(3, push=False)
+        assert after.capacity_bps == before.capacity_bps - 10e9
+        assert after.internal_link_rate_bps > before.internal_link_rate_bps
+        assert after.failed_nodes == 1
+
+    def test_consistency_ignores_dead_nodes(self, cluster):
+        cluster.handle_node_failure(3)
+        probes = [IPv4Address("10.%d.9.9" % i) for i in range(3)]
+        assert cluster.check_consistency(probes)
+
+    def test_capacity_counts_live_only(self, cluster):
+        assert cluster.capacity_bps() == 40e9
+        cluster.mark_failed(1)
+        assert cluster.capacity_bps() == 30e9
+        cluster.mark_recovered(1)
+        assert cluster.capacity_bps() == 40e9
+
+    def test_reprovision_single_survivor_has_no_mesh(self):
+        manager = ClusterManager()
+        manager.add_node(0)
+        manager.add_node(1)
+        manager.mark_failed(1)
+        update = manager.reprovision()
+        assert update.live_nodes == 1
+        assert update.internal_link_rate_bps != update.internal_link_rate_bps  # NaN
+
+
+class TestRemoveStalePushInterplay:
+    def test_remove_node_then_rehome_prefix(self, cluster):
+        cluster.remove_node(2)
+        # Port 2's prefix is orphaned; re-home it to node 0's port and
+        # push -- every survivor then routes it to node 0.
+        cluster.announce("10.2.0.0/16", 0)
+        cluster.push_fibs()
+        assert cluster.stale_nodes() == []
+        for node in cluster.nodes():
+            route = cluster.fib_of(node).lookup("10.2.5.5")
+            assert route is not None and route.port == 0
+
+    def test_push_returns_current_version(self, cluster):
+        version = cluster.push_fibs()
+        assert version == cluster.rib_version
+        cluster.announce("172.16.0.0/16", 1)
+        assert cluster.push_fibs() == version + 1
+
+    def test_dead_node_rejoins_stale_then_syncs(self, cluster):
+        cluster.mark_failed(2)
+        cluster.push_fibs()
+        cluster.announce("172.16.0.0/16", 1)   # changes while node 2 is out
+        cluster.push_fibs()
+        cluster.mark_recovered(2)
+        # Rebooted with no FIB: stale until the next push.
+        assert 2 in cluster.stale_nodes()
+        with pytest.raises(ConfigurationError):
+            cluster.fib_of(2)
+        cluster.push_fibs()
+        assert cluster.stale_nodes() == []
+        assert cluster.fib_of(2).lookup("172.16.1.1").port == 1
+
+
 class TestGrowWhileRouting:
     def test_add_server_add_port_story(self, cluster):
         """The Sec. 2 extensibility claim as a scenario: add a server,

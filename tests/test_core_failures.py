@@ -58,3 +58,76 @@ class TestFailedLinks:
         router = RouteBricksRouter()
         with pytest.raises(ConfigurationError):
             router.simulate(_events(packets=1), failed_links=[(0, 9)])
+
+
+class TestFailedHopsWiring:
+    """Unit-level checks that ClusterNode's failed_hops drives every
+    path-choice primitive (the knob the fault injector turns)."""
+
+    def _node(self, seed=0):
+        router = RouteBricksRouter(seed=seed)
+        sim, nodes = router.build_simulation()
+        return sim, nodes
+
+    def test_failed_hop_is_never_available(self):
+        _, nodes = self._node()
+        nodes[0].failed_hops.add(1)
+        assert not nodes[0]._link_available(1)
+        assert not nodes[0]._path_available(1, egress=1)
+
+    def test_fresh_path_skips_failed_intermediates(self):
+        _, nodes = self._node()
+        # Direct link 0->1 dead, intermediate 2 dead: only 3 remains.
+        nodes[0].failed_hops.update({1, 2})
+        for _ in range(20):
+            assert nodes[0]._fresh_path(egress=1) == 3
+
+    def test_all_hops_failed_falls_back_to_direct(self):
+        _, nodes = self._node()
+        nodes[0].failed_hops.update({1, 2, 3})
+        # Nothing is reachable; the node still answers (the send will
+        # drop) instead of deadlocking path choice.
+        assert nodes[0]._fresh_path(egress=1) == 1
+
+    def test_choose_path_moves_pinned_flowlet_off_dead_hop(self):
+        from repro.net.packet import Packet
+        sim, nodes = self._node()
+        packet = Packet.udp("10.0.0.1", "10.1.0.1", length=740)
+        first = nodes[0].choose_path(packet, egress=1, now=0.0)
+        # Kill whatever hop the flowlet pinned; the next packet of the
+        # same flow must move to a live path immediately.
+        nodes[0].failed_hops.add(first)
+        second = nodes[0].choose_path(packet, egress=1, now=1e-6)
+        assert second != first
+        assert second not in nodes[0].failed_hops
+
+    def test_send_to_failed_hop_counts_a_drop(self):
+        _, nodes = self._node()
+        from repro.net.packet import Packet
+        packet = Packet.udp("10.0.0.1", "10.1.0.1", length=740)
+        nodes[0].failed_hops.add(1)
+        before = nodes[0].dropped
+        nodes[0]._send(packet, 1)
+        assert nodes[0].dropped == before + 1
+
+    def test_dead_node_drops_everything_it_touches(self):
+        from repro.net.packet import Packet
+        sim, nodes = self._node()
+        nodes[0].fail()
+        packet = Packet.udp("10.0.0.1", "10.1.0.1", length=740)
+        nodes[0].ingress(packet, egress_node=1)
+        nodes[0].receive_internal(packet)
+        assert nodes[0].dropped == 2
+        assert nodes[0].ingress_packets == 0
+
+    def test_recover_resets_flowlet_state(self):
+        _, nodes = self._node()
+        from repro.net.packet import Packet
+        packet = Packet.udp("10.0.0.1", "10.1.0.1", length=740)
+        nodes[0].choose_path(packet, egress=1, now=0.0)
+        table_before = nodes[0].flowlets
+        nodes[0].fail()
+        nodes[0].recover()
+        assert nodes[0].alive
+        assert nodes[0].flowlets is not table_before
+        assert nodes[0].flowlets.delta_sec == table_before.delta_sec

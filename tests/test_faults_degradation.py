@@ -1,0 +1,81 @@
+"""The analytic graceful-degradation model (repro.faults.degradation)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    degradation_curve,
+    linear_fraction,
+    quadratic_fraction,
+)
+from repro.workloads import WorkloadSpec
+
+
+class TestIdealCurves:
+    def test_linear_is_surviving_port_fraction(self):
+        assert linear_fraction(8, 0) == 1.0
+        assert linear_fraction(8, 2) == 0.75
+        assert linear_fraction(8, 8) == 0.0
+
+    def test_quadratic_is_square_of_linear(self):
+        for failed in range(9):
+            assert quadratic_fraction(8, failed) == \
+                pytest.approx(linear_fraction(8, failed) ** 2)
+
+
+class TestDegradationCurve:
+    def test_capacity_monotonically_degrades(self):
+        report = degradation_curve(num_nodes=8)
+        fractions = report.fractions()
+        assert fractions[0] == 1.0
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] > 0.0     # degrades, never collapses to zero
+
+    def test_uniform_traffic_degrades_linearly_for_few_failures(self):
+        # The headline claim: with 1-2 of 8 servers down, uniform traffic
+        # loses only the dead ports' share.
+        report = degradation_curve(num_nodes=8)
+        for failed in (1, 2):
+            assert report.point(failed).capacity_fraction == pytest.approx(
+                linear_fraction(8, failed), rel=0.1)
+
+    def test_worst_case_degrades_quadratically(self):
+        report = degradation_curve(num_nodes=8, uniform=False)
+        for failed in (2, 4):
+            assert report.point(failed).capacity_fraction == pytest.approx(
+                quadratic_fraction(8, failed), rel=0.15)
+
+    def test_worst_case_below_uniform(self):
+        uniform = degradation_curve(num_nodes=8)
+        worst = degradation_curve(num_nodes=8, uniform=False)
+        for failed in (1, 2, 3):
+            assert worst.point(failed).capacity_bps < \
+                uniform.point(failed).capacity_bps
+
+    def test_cluster_cut_below_two_nodes_is_dead(self):
+        report = degradation_curve(num_nodes=4, max_failed=4)
+        assert report.point(3).binding == "dead"
+        assert report.point(3).capacity_bps == 0.0
+
+    def test_report_round_trips_to_dict(self):
+        report = degradation_curve(num_nodes=4)
+        data = report.to_dict()
+        assert data["kind"] == "DegradationReport"
+        assert len(data["points"]) == 3
+        assert data["points"][0]["capacity_fraction"] == 1.0
+
+    def test_workload_must_be_spec(self):
+        with pytest.raises(ConfigurationError):
+            degradation_curve(num_nodes=4, workload=64)
+
+    def test_custom_workload_accepted(self):
+        report = degradation_curve(num_nodes=4,
+                                   workload=WorkloadSpec.abilene())
+        assert report.workload == "abilene"
+        assert report.packet_bytes == pytest.approx(740, rel=0.01)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            degradation_curve(num_nodes=1)
+        with pytest.raises(ConfigurationError):
+            degradation_curve(num_nodes=4, max_failed=9)
