@@ -10,6 +10,10 @@ with real substrates (LPM routing, AES-128/ESP, a Click-like dataplane).
 Public entry points
 -------------------
 
+``repro.costs``
+    The unified cost layer: ``ResourceVector``, the calibrated
+    ``CostModel``, and the ``compile_loads`` pipeline compiler that the
+    analytic model, the Click scheduler, and the DES all charge from.
 ``repro.perfmodel``
     Single-server performance model (Tables 1-3, Figs 6-10).
 ``repro.core``
@@ -30,7 +34,7 @@ Public entry points
     Bottleneck deconstruction and experiment runners.
 """
 
-from . import calibration, units
+from . import calibration, costs, units
 from .errors import (
     CapacityError,
     ConfigurationError,
@@ -47,6 +51,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "calibration",
+    "costs",
     "units",
     "ReproError",
     "ConfigurationError",

@@ -109,9 +109,37 @@ def load_series(app: cal.AppCost, packet_bytes: float = 64,
     return rows
 
 
+def pipeline_breakdown(graph, packet_bytes: float = 64,
+                       spec: ServerSpec = NEHALEM,
+                       config: ServerConfig = DEFAULT_CONFIG) -> dict:
+    """Rate, binding component, and per-element costs for a Click graph.
+
+    The pipeline-level analogue of :func:`deconstruct`: compile the graph
+    to a load vector, solve for the loss-free rate, and attach the
+    traversal-weighted per-element cost rows so the report says not just
+    *which component* binds but *which elements* put the load there.
+    """
+    from ..costs import compile_loads, element_costs
+    from ..perfmodel.throughput import rate_from_loads
+
+    loads = compile_loads(graph, packet_bytes, config=config, spec=spec)
+    result = rate_from_loads(loads, packet_bytes, spec=spec)
+    return {
+        "packet_bytes": packet_bytes,
+        "rate_gbps": result.rate_gbps,
+        "rate_mpps": result.rate_mpps,
+        "bottleneck": result.bottleneck,
+        "loads": {name: get(loads)
+                  for name, get in _COMPONENT_LOADS.items()},
+        "component_rates_pps": result.component_rates_pps,
+        "elements": element_costs(graph, packet_bytes),
+    }
+
+
 def cpu_load_from_polling(total_cycles: float, total_packets: int,
                           empty_polls: int,
-                          cycles_per_empty_poll: float = 120.0) -> float:
+                          cycles_per_empty_poll: float =
+                          cal.EMPTY_POLL_CYCLES) -> float:
     """The Sec. 5.3 empty-poll correction.
 
     Click polls continuously, so raw CPU utilization is always 100 %;

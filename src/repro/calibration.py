@@ -129,6 +129,13 @@ def bookkeeping_cycles(kp: int = DEFAULT_KP, kn: int = DEFAULT_KN) -> float:
 #: Book-keeping at the default batching configuration: 5726.4/32 + 1209.6/16.
 DEFAULT_BOOKKEEPING_CYCLES = bookkeeping_cycles()  # 254.6
 
+#: Cycles burned by a poll that finds no packets (Sec. 5.3's "ce").  Click
+#: polls continuously, so raw CPU utilization is always 100 %; both the
+#: timed simulation and the empty-poll correction in the utilization
+#: accounting (repro.analysis.bottleneck.cpu_load_from_polling) use this
+#: constant to separate useful work from idle polling.
+EMPTY_POLL_CYCLES = 120.0
+
 # --------------------------------------------------------------------------
 # Application processing costs (Fig. 8, Table 3, Sec. 5.3 item 2)
 # --------------------------------------------------------------------------

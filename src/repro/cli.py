@@ -6,6 +6,7 @@ Commands
 ``experiments``  list experiment ids, or run one/all and print the tables
 ``plan``         size a cluster for N external ports (Fig. 3 as a tool)
 ``server``       single-server saturation for an app / packet size
+``pipeline``     compile a Click config: predicted rate + cost breakdown
 ``rb4``          the 4-node cluster's operating points
 ``faults``       graceful degradation: analytic curve or a scripted DES run
 ``trace``        generate or inspect pcap traces of the synthetic workloads
@@ -103,6 +104,60 @@ def _cmd_server(args) -> int:
     print("  per-packet: %.0f cycles, %.0f B memory, %.0f B io"
           % (result.loads.cpu_cycles, result.loads.mem_bytes,
              result.loads.io_bytes))
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    from .analysis.bottleneck import pipeline_breakdown
+    from .click.pipelines import PRESET_PIPELINES, build_pipeline
+    from .errors import ReproError
+    from .hw.presets import NEHALEM
+    from .hw.server import Server
+
+    if args.config in PRESET_PIPELINES:
+        text = PRESET_PIPELINES[args.config]
+    else:
+        try:
+            with open(args.config) as handle:
+                text = handle.read()
+        except OSError as error:
+            print("error: cannot read Click config %r: %s"
+                  % (args.config, error), file=sys.stderr)
+            return 2
+    queues = args.queues or NEHALEM.total_cores
+
+    def fresh_server():
+        return Server(NEHALEM, num_ports=args.ports, queues_per_port=queues)
+
+    try:
+        graph = build_pipeline(text, fresh_server(), kp=args.kp, kn=args.kn)
+        report = pipeline_breakdown(graph, packet_bytes=args.size)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    print("pipeline %s @ %dB on %s:" % (args.config, args.size, NEHALEM.name))
+    print("  predicted loss-free rate: %.2f Gbps (%.2f Mpps)"
+          % (report["rate_gbps"], report["rate_mpps"]))
+    print("  bottleneck: %s" % report["bottleneck"])
+    loads = report["loads"]
+    print("  per-packet: %.0f cycles, %.0f B memory, %.0f B io"
+          % (loads["cpu"], loads["memory"], loads["io"]))
+    rows = [{"element": row["element"], "class": row["class"],
+             "p": round(row["probability"], 3),
+             "cpu_cycles": round(row["cpu_cycles"], 1),
+             "mem_B": round(row["mem_bytes"], 1),
+             "io_B": round(row["io_bytes"], 1)}
+            for row in report["elements"]]
+    print(format_table(rows, title="per-element costs (traversal-weighted)"))
+    if args.des:
+        from .click.simrun import TimedPipelineRun
+        run = TimedPipelineRun(fresh_server(), text, packet_bytes=args.size,
+                               kp=args.kp, kn=args.kn)
+        des_gbps = run.find_loss_free_rate() / 1e9
+        model_gbps = report["rate_gbps"]
+        print("timed simulation: %.2f Gbps (model %.2f, %.1f%% apart)"
+              % (des_gbps, model_gbps,
+                 abs(des_gbps - model_gbps) / model_gbps * 100))
     return 0
 
 
@@ -295,6 +350,23 @@ def build_parser() -> argparse.ArgumentParser:
                    default="nehalem")
     p.add_argument("--no-nic-limit", action="store_true")
     p.set_defaults(func=_cmd_server)
+
+    p = sub.add_parser("pipeline",
+                       help="compile a Click config to a rate prediction")
+    p.add_argument("config",
+                   help="path to a .click file, or a preset name "
+                        "(forwarding, routing, ipsec)")
+    p.add_argument("--size", type=int, default=64, help="packet bytes")
+    p.add_argument("--kp", type=int, default=cal.DEFAULT_KP)
+    p.add_argument("--kn", type=int, default=cal.DEFAULT_KN)
+    p.add_argument("--ports", type=int, default=1,
+                   help="NIC ports on the modeled server")
+    p.add_argument("--queues", type=int, default=None,
+                   help="queues per port (default: one per core)")
+    p.add_argument("--des", action="store_true",
+                   help="also binary-search the timed simulation's "
+                        "loss-free rate and compare")
+    p.set_defaults(func=_cmd_pipeline)
 
     p = sub.add_parser("rb4", help="cluster operating points")
     p.add_argument("--nodes", type=int, default=4)

@@ -11,7 +11,10 @@ statically assigns tasks to cores and enforces the two RouteBricks rules
 
 from .element import Element, PushPort
 from .graph import RouterGraph
+from .config import ElementRegistry, default_registry, parse_config
+from .pipelines import PRESET_PIPELINES, build_pipeline, pipeline_registry
 from .scheduler import CoreThread, Scheduler
+from .simrun import TimedForwardingRun, TimedPipelineRun, TimedRunReport
 from .elements.standard import (
     Classifier,
     CounterElement,
@@ -28,8 +31,17 @@ __all__ = [
     "Element",
     "PushPort",
     "RouterGraph",
+    "ElementRegistry",
+    "default_registry",
+    "parse_config",
+    "PRESET_PIPELINES",
+    "build_pipeline",
+    "pipeline_registry",
     "CoreThread",
     "Scheduler",
+    "TimedForwardingRun",
+    "TimedPipelineRun",
+    "TimedRunReport",
     "Classifier",
     "CounterElement",
     "Discard",

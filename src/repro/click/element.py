@@ -2,15 +2,19 @@
 
 Click composes routers from small elements connected through ports.  This
 reproduction keeps the push discipline (upstream calls downstream) that
-Click uses on the forwarding path, plus per-element packet counters and a
-``cycle_cost`` hook so the scheduler can charge CPU time for the work an
-element represents.
+Click uses on the forwarding path, plus per-element packet/byte counters
+and a :meth:`Element.resource_cost` hook so the scheduler, the timed
+simulation, and the analytic pipeline compiler all charge the same
+per-packet :class:`~repro.costs.ResourceVector` for the work an element
+represents.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import warnings
+from typing import List, Optional
 
+from ..costs import ZERO_VECTOR, ResourceVector
 from ..errors import ConfigurationError
 from ..net.packet import Packet
 
@@ -44,15 +48,28 @@ class Element:
     Subclasses implement :meth:`process`, which receives a packet and an
     input-port index and pushes results downstream via ``self.output(i)``.
     Returning without pushing drops the packet.
+
+    Costs are affine in packet size: an element charges ``cost_base +
+    cost_per_byte * packet.length`` on each component, either from the
+    class-level term declarations or from terms set at construction via
+    :meth:`set_cost_terms` (device and application elements derive theirs
+    from the shared :class:`~repro.costs.CostModel`).
     """
 
     #: Number of output ports; subclasses override as needed.
     n_outputs = 1
 
+    #: Size-independent per-packet cost (class default; instances may
+    #: override via :meth:`set_cost_terms`).
+    cost_base: ResourceVector = ZERO_VECTOR
+    #: Cost per packet byte on each component.
+    cost_per_byte: ResourceVector = ZERO_VECTOR
+
     def __init__(self, name: str = ""):
         self.name = name or self.__class__.__name__
         self._outputs = [PushPort(self, i) for i in range(self.n_outputs)]
         self.packets_in = 0
+        self.bytes_in = 0
         self.packets_out = 0
         self.packets_dropped = 0
 
@@ -72,6 +89,7 @@ class Element:
     def receive(self, packet: Packet, port: int = 0) -> None:
         """Entry point called by upstream elements."""
         self.packets_in += 1
+        self.bytes_in += packet.length
         self.process(packet, port)
 
     def push(self, packet: Packet, output: int = 0) -> None:
@@ -86,10 +104,52 @@ class Element:
     def process(self, packet: Packet, port: int) -> None:
         raise NotImplementedError
 
+    # -- cost accounting ---------------------------------------------------
+
+    def set_cost_terms(self, base: ResourceVector,
+                       per_byte: ResourceVector = ZERO_VECTOR) -> None:
+        """Declare this instance's affine cost terms."""
+        self.cost_base = base
+        self.cost_per_byte = per_byte
+
+    def resource_cost(self, packet: Packet) -> ResourceVector:
+        """Per-packet cost of this element's work on every component.
+
+        Computed from the declared affine terms.  Subclasses that still
+        override the legacy :meth:`cycle_cost` hook are honored: their
+        cycles become the vector's CPU entry (bus terms zero).
+        """
+        if type(self).cycle_cost is not Element.cycle_cost:
+            return ResourceVector(cpu_cycles=self.cycle_cost(packet))
+        if self.cost_per_byte.is_zero():
+            return self.cost_base
+        return self.cost_base + self.cost_per_byte.scaled(packet.length)
+
     def cycle_cost(self, packet: Packet) -> float:
-        """CPU cycles this element's work costs for ``packet`` (default 0;
-        device and application elements override)."""
-        return 0.0
+        """Deprecated: CPU cycles this element's work costs for ``packet``.
+
+        Kept as a thin shim over :meth:`resource_cost` for callers that
+        only want the CPU entry; new code should use the vector API.
+        """
+        warnings.warn(
+            "Element.cycle_cost is deprecated; use resource_cost(packet)"
+            ".cpu_cycles instead",
+            DeprecationWarning, stacklevel=2)
+        return self.resource_cost(packet).cpu_cycles
+
+    # -- static forwarding behaviour ---------------------------------------
+
+    def output_probabilities(self) -> List[float]:
+        """Fraction of received packets forwarded to each output.
+
+        Used by :func:`repro.costs.traversal_probabilities` to weight
+        downstream elements.  The default sends everything down output 0
+        (secondary outputs are exception paths); classifiers, switches,
+        and tees override.
+        """
+        if self.n_outputs == 0:
+            return []
+        return [1.0] + [0.0] * (self.n_outputs - 1)
 
     def __repr__(self):
         return "<%s %r>" % (self.__class__.__name__, self.name)

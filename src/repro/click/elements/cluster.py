@@ -17,10 +17,11 @@ plus these:
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from ... import calibration as cal
 from ...core.flowlet import FlowletTable
+from ...costs import DEFAULT_COST_MODEL, ResourceVector
 from ...core.mac_encoding import decode_output_node, encode_output_node
 from ...errors import ConfigurationError
 from ...net.packet import Packet
@@ -49,6 +50,12 @@ class VLBIngress(Element):
         self.now = 0.0  # advanced by the caller (simulation clock)
         self.routed = 0
         self.misses = 0
+        # Routing lookup + header work + reordering-avoidance tracking.
+        base, per_byte = DEFAULT_COST_MODEL.increment_terms("routing")
+        if use_flowlets:
+            base = base + ResourceVector(
+                cpu_cycles=cal.REORDER_AVOIDANCE_CYCLES)
+        self.set_cost_terms(base, per_byte)
 
     def _fresh_path(self, egress: int) -> int:
         if self.link_available(egress):
@@ -82,13 +89,10 @@ class VLBIngress(Element):
             first_hop = self._fresh_path(egress)
         self.push(packet, first_hop)
 
-    def cycle_cost(self, packet: Packet) -> float:
-        """Routing lookup + header work + reordering-avoidance tracking."""
-        cost = (cal.IP_ROUTING.cpu_base_cycles
-                - cal.MINIMAL_FORWARDING.cpu_base_cycles)
-        if self.flowlets is not None:
-            cost += cal.REORDER_AVOIDANCE_CYCLES
-        return cost
+    def output_probabilities(self) -> List[float]:
+        """Direct VLB spreads first hops uniformly over the nodes; the
+        routing-miss port carries no load in the analytic model."""
+        return [1.0 / self.num_nodes] * self.num_nodes + [0.0]
 
 
 class VLBTransit(Element):
@@ -117,6 +121,9 @@ class VLBTransit(Element):
             self.forwarded += 1
         self.push(packet, output)
 
-    def cycle_cost(self, packet: Packet) -> float:
-        """Queue-to-queue move only: no header processing (Sec. 6.1)."""
-        return 0.0
+    # Queue-to-queue move only: no header processing (Sec. 6.1), so the
+    # inherited zero cost terms are correct.
+
+    def output_probabilities(self) -> List[float]:
+        """MAC-steered output nodes are uniform under VLB."""
+        return [1.0 / self.num_nodes] * self.num_nodes

@@ -6,6 +6,13 @@ the scheduler enforce one-core-per-queue.  ``PollDevice`` implements
 poll-driven batching (up to ``kp`` packets per poll); ``ToDevice`` relays
 descriptors to the NIC in batches of ``kn`` (NIC-driven batching lives in
 the driver, modeled by the transmit path charging its amortized cost).
+
+Their cost terms come from :meth:`repro.costs.CostModel.rx_terms` and
+:meth:`~repro.costs.CostModel.tx_terms`: the RX element carries the
+amortized poll bookkeeping plus the packet-movement baseline (CPU and
+half of each bus term), the TX element the descriptor-relay share and
+the other bus half -- so an element-wise pipeline sum reproduces the
+analytic application totals.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 from typing import List
 
 from ... import calibration as cal
+from ...costs import DEFAULT_COST_MODEL, CostModel
 from ...errors import ConfigurationError
 from ...hw.nic import NicPort, NicQueue
 from ...net.packet import Packet
@@ -29,7 +37,8 @@ class PollDevice(Element):
     """
 
     def __init__(self, port: NicPort, queue_id: int = 0,
-                 kp: int = cal.DEFAULT_KP, name: str = ""):
+                 kp: int = cal.DEFAULT_KP, name: str = "",
+                 cost_model: CostModel = DEFAULT_COST_MODEL):
         if not 0 <= queue_id < port.num_queues:
             raise ConfigurationError(
                 "port %d has no RX queue %d" % (port.port_id, queue_id))
@@ -41,6 +50,7 @@ class PollDevice(Element):
         self.kp = kp
         self.empty_polls = 0
         self.total_polls = 0
+        self.set_cost_terms(*cost_model.rx_terms(kp))
 
     def run_task(self) -> int:
         """One poll: move up to ``kp`` packets into the graph."""
@@ -51,15 +61,12 @@ class PollDevice(Element):
             return 0
         for packet in batch:
             self.packets_in += 1
+            self.bytes_in += packet.length
             self.push(packet)
         return len(batch)
 
     def process(self, packet: Packet, port: int) -> None:
         raise ConfigurationError("PollDevice has no inputs")
-
-    def cycle_cost(self, packet: Packet) -> float:
-        """Per-packet share of poll bookkeeping."""
-        return cal.BOOK_POLL_CYCLES / self.kp
 
 
 class ToDevice(Element):
@@ -68,7 +75,8 @@ class ToDevice(Element):
     n_outputs = 0
 
     def __init__(self, port: NicPort, queue_id: int = 0,
-                 kn: int = cal.DEFAULT_KN, name: str = ""):
+                 kn: int = cal.DEFAULT_KN, name: str = "",
+                 cost_model: CostModel = DEFAULT_COST_MODEL):
         if not 0 <= queue_id < port.num_queues:
             raise ConfigurationError(
                 "port %d has no TX queue %d" % (port.port_id, queue_id))
@@ -79,14 +87,11 @@ class ToDevice(Element):
         self.queue_id = queue_id
         self.queue: NicQueue = port.tx_queues[queue_id]
         self.kn = kn
+        self.set_cost_terms(*cost_model.tx_terms(kn))
 
     def process(self, packet: Packet, port: int) -> None:
         if not self.port.transmit(packet, self.queue_id):
             self.drop(packet)
-
-    def cycle_cost(self, packet: Packet) -> float:
-        """Per-packet share of descriptor-relay bookkeeping."""
-        return cal.BOOK_NIC_CYCLES / self.kn
 
     def drain(self) -> List[Packet]:
         """Pop everything this element has queued for the wire."""

@@ -7,7 +7,9 @@ header validation, checksum update, and a longest-prefix-match lookup in a
 
 from __future__ import annotations
 
-from ... import calibration as cal
+from typing import List
+
+from ...costs import DEFAULT_COST_MODEL
 from ...errors import ConfigurationError
 from ...net.addresses import MACAddress
 from ...net.checksum import ttl_decrement_checksum
@@ -84,6 +86,9 @@ class LookupIPRoute(Element):
         self.table = table
         self.n_ports = n_ports
         self.misses = 0
+        # The routing increment over minimal forwarding (lookup + header
+        # work), from the calibrated application costs.
+        self.set_cost_terms(*DEFAULT_COST_MODEL.increment_terms("routing"))
 
     def process(self, packet: Packet, port: int) -> None:
         route = self.table.lookup(packet.ip.dst) if packet.ip else None
@@ -95,11 +100,10 @@ class LookupIPRoute(Element):
         packet.annotations["next_hop_mac"] = route.next_hop_mac
         self.push(packet, route.port)
 
-    def cycle_cost(self, packet: Packet) -> float:
-        """The routing increment over minimal forwarding (lookup + header
-        work), from the calibrated application costs."""
-        return (cal.IP_ROUTING.cpu_base_cycles
-                - cal.MINIMAL_FORWARDING.cpu_base_cycles)
+    def output_probabilities(self) -> List[float]:
+        """Routed traffic spreads uniformly over the port outputs; the
+        failure port carries no load in the analytic model."""
+        return [1.0 / self.n_ports] * self.n_ports + [0.0]
 
 
 class EtherEncap(Element):

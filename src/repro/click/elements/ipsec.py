@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ... import calibration as cal
+from ...costs import DEFAULT_COST_MODEL
 from ...crypto.esp import EspContext, esp_encapsulate
 from ...errors import CryptoError
 from ...net.packet import Packet
@@ -25,6 +25,9 @@ class IPsecESPEncap(Element):
         self.functional = functional
         self.encrypted = 0
         self.failed = 0
+        # AES cost: the ipsec increment over minimal forwarding --
+        # calibrated cycles/byte plus the fixed ESP overhead.
+        self.set_cost_terms(*DEFAULT_COST_MODEL.increment_terms("ipsec"))
 
     def process(self, packet: Packet, port: int) -> None:
         if packet.ip is None:
@@ -47,8 +50,3 @@ class IPsecESPEncap(Element):
             outer.annotations["esp_seq"] = self.context.next_seq()
         self.encrypted += 1
         self.push(outer)
-
-    def cycle_cost(self, packet: Packet) -> float:
-        """AES cost: calibrated cycles/byte plus fixed ESP overhead."""
-        return (cal.IPSEC.cpu_base_cycles - cal.MINIMAL_FORWARDING.cpu_base_cycles
-                + cal.IPSEC.cpu_per_byte_cycles * packet.length)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import List
+
 from ...errors import ConfigurationError
 from ...net.flows import queue_for_flow
 from ...net.packet import Packet
@@ -26,6 +28,9 @@ class RoundRobinSwitch(Element):
         self.push(packet, self._next)
         self._next = (self._next + 1) % self.n_outputs
 
+    def output_probabilities(self) -> List[float]:
+        return [1.0 / self.n_outputs] * self.n_outputs
+
 
 class FlowHashSwitch(Element):
     """Pin each flow to one output by hashing its five-tuple.
@@ -45,3 +50,7 @@ class FlowHashSwitch(Element):
             self.push(packet, packet.packet_id % self.n_outputs)
             return
         self.push(packet, queue_for_flow(packet.five_tuple(), self.n_outputs))
+
+    def output_probabilities(self) -> List[float]:
+        """Hashing spreads flows uniformly in expectation."""
+        return [1.0 / self.n_outputs] * self.n_outputs

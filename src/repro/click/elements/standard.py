@@ -71,6 +71,10 @@ class Tee(Element):
         for i in range(1, self.n_outputs):
             self.push(packet.copy(), i)
 
+    def output_probabilities(self) -> List[float]:
+        """Every output sees every packet (duplication, not splitting)."""
+        return [1.0] * self.n_outputs
+
 
 class SetTTL(Element):
     """Overwrite the IP TTL (used when re-originating tunneled packets)."""
@@ -169,6 +173,9 @@ class RandomSample(Element):
         else:
             self.drop(packet)
 
+    def output_probabilities(self) -> List[float]:
+        return [self.p]
+
 
 class Meter(Element):
     """Split traffic by measured rate: at or below ``rate_pps`` -> output
@@ -231,3 +238,7 @@ class Classifier(Element):
             self.push(packet, self.n_outputs - 1)
         else:
             self.drop(packet)
+
+    def output_probabilities(self) -> List[float]:
+        """Without traffic knowledge, assume a uniform match distribution."""
+        return [1.0 / self.n_outputs] * self.n_outputs

@@ -133,8 +133,11 @@ class Scheduler:
         """Run ``rounds`` scheduling rounds on every thread.
 
         With ``charge_cycles``, each element's calibrated per-packet cost
-        (plus the irreducible per-packet base) is charged to the owning
-        core, so ``Core.cycles_used`` reflects Sec. 5.3's accounting.
+        vector -- evaluated at the *actual* mean size of the packets it
+        handled, since costs are affine in packet size -- is charged to
+        the owning core, so ``Core.cycles_used`` reflects Sec. 5.3's
+        accounting.  The device elements' terms already include the
+        irreducible per-packet base and the amortized batching shares.
         """
         if rounds < 1:
             raise SchedulingError("rounds must be >= 1")
@@ -143,26 +146,27 @@ class Scheduler:
         if charge_cycles:
             for thread in self.threads:
                 for element in thread.owned_elements:
-                    before[id(element)] = element.packets_in
+                    before[id(element)] = (element.packets_in,
+                                           element.bytes_in)
         for _ in range(rounds):
             for thread in self.threads:
                 total += thread.run_once(kp)
         if charge_cycles:
             for thread in self.threads:
                 for element in thread.owned_elements:
-                    handled = element.packets_in - before[id(element)]
+                    packets0, bytes0 = before[id(element)]
+                    handled = element.packets_in - packets0
                     if handled <= 0:
                         continue
-                    probe = _CostProbe(length=64)
-                    per_packet = element.cycle_cost(probe)
-                    if isinstance(element, PollDevice):
-                        per_packet += cal.BOOK_BASE_CYCLES
+                    mean_bytes = (element.bytes_in - bytes0) / handled
+                    probe = _CostProbe(length=mean_bytes)
+                    per_packet = element.resource_cost(probe).cpu_cycles
                     thread.core.charge(handled * per_packet)
         return total
 
 
 class _CostProbe:
-    """A minimal stand-in packet for querying size-independent costs."""
+    """A minimal stand-in packet for querying size-affine costs."""
 
-    def __init__(self, length: int):
+    def __init__(self, length: float):
         self.length = length

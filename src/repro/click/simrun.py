@@ -8,20 +8,35 @@ offered loads below the model's saturation rate the run is loss-free; at
 higher loads the achieved rate plateaus at the model's prediction and RX
 rings overflow -- exactly how the paper measures the "maximum loss-free
 forwarding rate" (Sec. 5.1).
+
+Two runners share that discipline: :class:`TimedForwardingRun` charges a
+preset application's cost as one number per packet (the original Sec. 5.1
+experiment), while :class:`TimedPipelineRun` instantiates an arbitrary
+Click configuration once per core (multi-queue replication) and charges
+each element's :class:`~repro.costs.ResourceVector` for the packets it
+actually handled -- the same vectors :func:`repro.costs.compile_loads`
+sums analytically, which is what makes model-vs-DES agreement checkable
+for custom pipelines.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional
 
 from .. import calibration as cal
+from ..costs import DEFAULT_COST_MODEL, CostModel
 from ..errors import ConfigurationError
 from ..hw.server import Server
 from ..simnet.engine import Simulator
 from ..workloads.synthetic import FixedSizeWorkload
+from .element import Element
+from .elements.device import PollDevice, ToDevice
+from .elements.standard import PacketQueue
 
 #: Cycles burned by a poll that finds no packets (Sec. 5.3's ce).
-EMPTY_POLL_CYCLES = 120.0
+#: Re-exported from :mod:`repro.calibration`, the single owner.
+EMPTY_POLL_CYCLES = cal.EMPTY_POLL_CYCLES
 
 
 @dataclass
@@ -72,7 +87,8 @@ class TimedForwardingRun:
 
     def __init__(self, server: Server, packet_bytes: int = 64,
                  kp: int = cal.DEFAULT_KP, kn: int = cal.DEFAULT_KN,
-                 app: cal.AppCost = cal.MINIMAL_FORWARDING):
+                 app: cal.AppCost = cal.MINIMAL_FORWARDING,
+                 cost_model: CostModel = DEFAULT_COST_MODEL):
         if not server.ports:
             raise ConfigurationError("server has no ports attached")
         if kp < 1 or not 1 <= kn <= cal.MAX_NIC_BATCH:
@@ -82,8 +98,10 @@ class TimedForwardingRun:
         self.kp = kp
         self.kn = kn
         self.app = app
-        self.cycles_per_packet = (app.cpu_cycles(packet_bytes)
-                                  + cal.bookkeeping_cycles(kp, kn))
+        self.cost_model = cost_model
+        self.cycles_per_packet = (
+            cost_model.app_vector(app, packet_bytes).cpu_cycles
+            + cost_model.bookkeeping_cycles(kp, kn))
         # Pair each core with one RX queue, spreading cores over ports.
         self._assignments = []
         cores = server.cores
@@ -139,7 +157,7 @@ class TimedForwardingRun:
                     state["forwarded"] += len(batch)
                 else:
                     state["empty_polls"] += 1
-                    cycles = EMPTY_POLL_CYCLES
+                    cycles = self.cost_model.empty_poll_cycles
                 core.charge(cycles)
                 sim.schedule(cycles / clock_hz, poll)
             return poll
@@ -170,6 +188,203 @@ class TimedForwardingRun:
             raise ConfigurationError("need low < high")
         # A sustainable run may leave up to ~2 poll batches per queue.
         max_backlog = 2 * self.kp * len(self._assignments)
+        while high_bps - low_bps > tolerance_bps:
+            mid = (low_bps + high_bps) / 2
+            report = self.run(mid, duration_sec=duration_sec)
+            if report.sustainable(max_backlog):
+                low_bps = mid
+            else:
+                high_bps = mid
+        return low_bps
+
+
+class _SizeProbe:
+    """A minimal stand-in packet for evaluating size-affine costs."""
+
+    __slots__ = ("length",)
+
+    def __init__(self, length: float):
+        self.length = length
+
+
+def _element_cycles(element: Element, d_packets: int,
+                    d_bytes: float) -> float:
+    """CPU cycles for ``d_packets``/``d_bytes`` of new work on an element.
+
+    Exact for affine costs; elements with a legacy ``cycle_cost`` override
+    are charged at the actual mean packet size they handled.
+    """
+    if d_packets <= 0:
+        return 0.0
+    if type(element).cycle_cost is not Element.cycle_cost:
+        probe = _SizeProbe(d_bytes / d_packets)
+        return d_packets * element.resource_cost(probe).cpu_cycles
+    return (d_packets * element.cost_base.cpu_cycles
+            + d_bytes * element.cost_per_byte.cpu_cycles)
+
+
+class _PipelineReplica:
+    """One core's instantiation of the pipeline (multi-queue slice)."""
+
+    def __init__(self, graph, core):
+        self.graph = graph
+        self.core = core
+        self.elements: List[Element] = graph.elements()
+        self.polls = [e for e in self.elements if isinstance(e, PollDevice)]
+        self.tos = [e for e in self.elements if isinstance(e, ToDevice)]
+        self.pulls = [(e, e.output(0).peer) for e in self.elements
+                      if isinstance(e, PacketQueue)
+                      and e.output(0).peer is not None]
+
+
+class TimedPipelineRun:
+    """Simulate an arbitrary Click pipeline on one server at offered load.
+
+    The configuration text (or a :data:`~repro.click.pipelines
+    .PRESET_PIPELINES` name) is instantiated once per participating core,
+    with each replica's device elements bound to NIC queue ``replica`` --
+    the multi-queue discipline.  Each poll event runs the replica's poll
+    devices, drives any Click ``Queue`` pulls, drains the TX rings, and
+    charges the core the element-wise resource cost of the packets that
+    actually moved.
+    """
+
+    def __init__(self, server: Server, config_text: str,
+                 packet_bytes: int = 64,
+                 kp: int = cal.DEFAULT_KP, kn: int = cal.DEFAULT_KN,
+                 table=None, esp_context=None,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 replicas: Optional[int] = None):
+        from .pipelines import build_pipeline
+        if not server.ports:
+            raise ConfigurationError("server has no ports attached")
+        if kp < 1 or not 1 <= kn <= cal.MAX_NIC_BATCH:
+            raise ConfigurationError("bad batching parameters")
+        self.server = server
+        self.packet_bytes = packet_bytes
+        self.kp = kp
+        self.kn = kn
+        self.cost_model = cost_model
+        queues_per_port = min(port.num_queues for port in server.ports)
+        n_replicas = min(len(server.cores), queues_per_port)
+        if replicas is not None:
+            if replicas > n_replicas:
+                raise ConfigurationError(
+                    "%d replicas need %d cores and %d queues per port"
+                    % (replicas, replicas, replicas))
+            n_replicas = replicas
+        self.replicas: List[_PipelineReplica] = []
+        for index in range(n_replicas):
+            graph = build_pipeline(config_text, server, replica=index,
+                                   kp=kp, kn=kn, table=table,
+                                   esp_context=esp_context,
+                                   cost_model=cost_model)
+            replica = _PipelineReplica(graph, server.cores[index])
+            if not replica.polls:
+                raise ConfigurationError(
+                    "pipeline has no PollDevice; nothing drives it")
+            self.replicas.append(replica)
+
+    def _rx_queues(self):
+        return [poll.queue for replica in self.replicas
+                for poll in replica.polls]
+
+    def run(self, offered_bps: float, duration_sec: float = 5e-3,
+            seed: int = 0) -> TimedRunReport:
+        """Offer fixed-size packets at ``offered_bps`` for ``duration_sec``."""
+        if offered_bps <= 0 or duration_sec <= 0:
+            raise ConfigurationError("offered load and duration must be > 0")
+        sim = Simulator()
+        workload = FixedSizeWorkload(packet_bytes=self.packet_bytes,
+                                     num_flows=len(self.replicas) * 8,
+                                     seed=seed)
+        interarrival = self.packet_bytes * 8 / offered_bps
+        offered = int(duration_sec / interarrival)
+        packets = workload.packets(offered)
+
+        state = {"forwarded": 0, "empty_polls": 0, "polls": 0}
+        rx_queues = self._rx_queues()
+        drops_before = sum(queue.dropped for queue in rx_queues)
+        for queue in rx_queues:
+            while queue.pop() is not None:
+                pass
+
+        def arrival(index=[0]):
+            try:
+                packet = next(packets)
+            except StopIteration:
+                return
+            queue = rx_queues[index[0] % len(rx_queues)]
+            index[0] += 1
+            queue.push(packet)
+            sim.schedule(interarrival, arrival)
+
+        clock_hz = self.server.spec.clock_hz
+
+        def make_poll_loop(replica):
+            counters = {id(e): (e.packets_in, e.bytes_in)
+                        for e in replica.elements}
+
+            def poll():
+                if sim.now >= duration_sec:
+                    return
+                state["polls"] += 1
+                moved = 0
+                for device in replica.polls:
+                    moved += device.run_task()
+                for queue, downstream in replica.pulls:
+                    while True:
+                        packet = queue.pull()
+                        if packet is None:
+                            break
+                        downstream.receive(packet)
+                        moved += 1
+                for device in replica.tos:
+                    state["forwarded"] += len(device.drain())
+                if moved:
+                    cycles = 0.0
+                    for element in replica.elements:
+                        packets0, bytes0 = counters[id(element)]
+                        cycles += _element_cycles(
+                            element, element.packets_in - packets0,
+                            element.bytes_in - bytes0)
+                        counters[id(element)] = (element.packets_in,
+                                                 element.bytes_in)
+                else:
+                    state["empty_polls"] += 1
+                    cycles = self.cost_model.empty_poll_cycles
+                replica.core.charge(cycles)
+                sim.schedule(cycles / clock_hz, poll)
+            return poll
+
+        sim.schedule(0.0, arrival)
+        for replica in self.replicas:
+            sim.schedule(0.0, make_poll_loop(replica))
+        sim.run(until=duration_sec)
+
+        dropped = sum(queue.dropped for queue in rx_queues) - drops_before
+        backlog = sum(len(queue) for queue in rx_queues)
+        for replica in self.replicas:
+            backlog += sum(len(queue) for queue, _ in replica.pulls)
+        return TimedRunReport(
+            offered_packets=offered,
+            forwarded_packets=state["forwarded"],
+            dropped_packets=dropped,
+            duration_sec=duration_sec,
+            packet_bytes=self.packet_bytes,
+            empty_polls=state["empty_polls"],
+            total_polls=state["polls"],
+            residual_backlog=backlog,
+        )
+
+    def find_loss_free_rate(self, low_bps: float = 0.5e9,
+                            high_bps: float = 30e9,
+                            tolerance_bps: float = 0.25e9,
+                            duration_sec: float = 2e-3) -> float:
+        """Binary-search the maximum loss-free rate (the Sec. 5.1 metric)."""
+        if low_bps >= high_bps:
+            raise ConfigurationError("need low < high")
+        max_backlog = 2 * self.kp * len(self._rx_queues())
         while high_bps - low_bps > tolerance_bps:
             mid = (low_bps + high_bps) / 2
             report = self.run(mid, duration_sec=duration_sec)

@@ -10,7 +10,8 @@ scaling projections.
 from .loads import LoadVector, ServerConfig, per_packet_loads
 from .bounds import ComponentBounds, bounds_for, stream_benchmark_bps
 from .batching import batching_rate_bps, batching_sweep
-from .throughput import RateResult, max_loss_free_rate, saturation_throughput
+from .throughput import (RateResult, max_loss_free_rate, rate_from_loads,
+                         saturation_throughput)
 from .scenarios import SCENARIOS, Scenario, scenario_rate_gbps
 from .projection import project_rates, projected_abilene_forwarding_bps
 from .sweep import app_sweep, batching_grid, bottleneck_crossover_bytes, size_sweep
@@ -28,6 +29,7 @@ __all__ = [
     "batching_sweep",
     "RateResult",
     "max_loss_free_rate",
+    "rate_from_loads",
     "saturation_throughput",
     "SCENARIOS",
     "Scenario",

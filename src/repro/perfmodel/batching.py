@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Tuple
 
-from .. import calibration as cal
+from ..costs import DEFAULT_COST_MODEL
 from ..hw.presets import NEHALEM
 from ..hw.server import ServerSpec
 from ..workloads.spec import WorkloadSpec
@@ -40,8 +40,9 @@ def batching_sweep(configs: Iterable[Tuple[int, int]] = ((1, 1), (32, 1), (32, 1
             "kn": kn,
             "rate_gbps": rate / 1e9,
             "cycles_per_packet":
-                cal.MINIMAL_FORWARDING.cpu_cycles(packet_bytes)
-                + cal.bookkeeping_cycles(kp, kn),
+                DEFAULT_COST_MODEL.app_vector("forwarding",
+                                              packet_bytes).cpu_cycles
+                + DEFAULT_COST_MODEL.bookkeeping_cycles(kp, kn),
         })
     return rows
 

@@ -4,63 +4,28 @@ A :class:`LoadVector` is what one packet costs on each system component:
 CPU cycles and bytes on the memory buses, socket-I/O links, PCIe buses,
 and inter-socket link.  It is the quantity plotted in Figs. 9-10 and the
 input to the bottleneck solver.
+
+The implementation now lives in :mod:`repro.costs`: ``LoadVector`` is an
+alias of :class:`repro.costs.ResourceVector`, ``ServerConfig`` moved to
+the cost layer, and the load computations delegate to the shared
+:data:`repro.costs.DEFAULT_COST_MODEL` so the analytic model, the Click
+scheduler, and the timed simulation all charge from the same constants.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from .. import calibration as cal
+from ..costs import DEFAULT_CONFIG, DEFAULT_COST_MODEL, ServerConfig
+from ..costs import ResourceVector as LoadVector
 from ..errors import ConfigurationError
 from ..hw.server import ServerSpec
 
+__all__ = ["DEFAULT_CONFIG", "LoadVector", "ServerConfig",
+           "cpu_cycles_per_packet", "per_packet_loads", "table3_row"]
 
-@dataclass(frozen=True)
-class ServerConfig:
-    """Software configuration knobs of the evaluation (Sec. 4.2).
-
-    ``multi_queue``
-        One RX/TX queue per core per port (both scheduling rules hold).
-        When False, ports expose a single queue and packet handoffs between
-        a polling core and a worker core are unavoidable.
-    ``kp, kn``
-        Poll-driven and NIC-driven batch sizes (Table 1).
-    """
-
-    multi_queue: bool = True
-    kp: int = cal.DEFAULT_KP
-    kn: int = cal.DEFAULT_KN
-
-    def __post_init__(self):
-        if self.kp < 1:
-            raise ConfigurationError("kp must be >= 1, got %r" % self.kp)
-        if not 1 <= self.kn <= cal.MAX_NIC_BATCH:
-            raise ConfigurationError(
-                "kn must be in [1, %d] (PCIe payload limit), got %r"
-                % (cal.MAX_NIC_BATCH, self.kn))
-
-
-#: The evaluation's default configuration: multi-queue, kp=32, kn=16.
-DEFAULT_CONFIG = ServerConfig()
-
-
-@dataclass(frozen=True)
-class LoadVector:
-    """Per-packet load on each system component."""
-
-    cpu_cycles: float
-    mem_bytes: float
-    io_bytes: float
-    pcie_bytes: float
-    qpi_bytes: float
-
-    def scaled(self, factor: float) -> "LoadVector":
-        """A copy with every entry multiplied by ``factor``."""
-        return LoadVector(cpu_cycles=self.cpu_cycles * factor,
-                          mem_bytes=self.mem_bytes * factor,
-                          io_bytes=self.io_bytes * factor,
-                          pcie_bytes=self.pcie_bytes * factor,
-                          qpi_bytes=self.qpi_bytes * factor)
+# Imported modules keep working after the move; ConfigurationError is part
+# of the historical module surface.
+_ = ConfigurationError
 
 
 def cpu_cycles_per_packet(app: cal.AppCost, packet_bytes: float,
@@ -73,28 +38,16 @@ def cpu_cycles_per_packet(app: cal.AppCost, packet_bytes: float,
     synchronization cost.  On shared-bus servers, FSB contention inflates
     every cycle count by the spec's ``cpi_factor``.
     """
-    cycles = app.cpu_cycles(packet_bytes)
-    cycles += cal.bookkeeping_cycles(config.kp, config.kn)
-    if not config.multi_queue:
-        cycles += cal.PIPELINE_SYNC_CYCLES
-    if spec is not None and spec.cpi_factor != 1.0:
-        cycles *= spec.cpi_factor
-    return cycles
+    return DEFAULT_COST_MODEL.cpu_cycles_per_packet(app, packet_bytes,
+                                                    config, spec)
 
 
 def per_packet_loads(app: cal.AppCost, packet_bytes: float,
                      config: ServerConfig = DEFAULT_CONFIG,
                      spec: ServerSpec = None) -> LoadVector:
     """The full per-packet load vector for ``app`` at ``packet_bytes``."""
-    if packet_bytes <= 0:
-        raise ConfigurationError("packet size must be positive")
-    return LoadVector(
-        cpu_cycles=cpu_cycles_per_packet(app, packet_bytes, config, spec),
-        mem_bytes=app.mem_bytes(packet_bytes),
-        io_bytes=app.io_bytes(packet_bytes),
-        pcie_bytes=app.pcie_bytes(packet_bytes),
-        qpi_bytes=app.qpi_bytes(packet_bytes),
-    )
+    return DEFAULT_COST_MODEL.per_packet_vector(app, packet_bytes, config,
+                                                spec)
 
 
 def table3_row(app: cal.AppCost) -> dict:

@@ -89,6 +89,38 @@ def _component_rate_limits(loads: LoadVector, spec: ServerSpec,
     return limits
 
 
+def rate_from_loads(loads: LoadVector, packet_bytes: float,
+                    spec: ServerSpec = NEHALEM,
+                    empirical_bounds: bool = True,
+                    nic_limited: bool = True) -> RateResult:
+    """Solve for the loss-free rate given an already-compiled load vector.
+
+    This is the solver half of :func:`max_loss_free_rate`, split out so a
+    load vector from *any* source -- a preset application, or a Click
+    pipeline compiled by :func:`repro.costs.compile_loads` -- answers the
+    same question: which component saturates first, and at what rate.
+    """
+    if packet_bytes <= 0:
+        raise ConfigurationError("packet size must be positive")
+    if loads.cpu_cycles <= 0:
+        raise ConfigurationError(
+            "load vector charges no CPU cycles; every packet at least "
+            "crosses the forwarding path")
+    limits = _component_rate_limits(loads, spec, empirical_bounds)
+    if nic_limited:
+        limits["nic"] = spec.max_input_bps / (packet_bytes * 8)
+    bottleneck = min(limits, key=limits.get)
+    rate_pps = limits[bottleneck]
+    return RateResult(
+        rate_bps=rate_pps_to_bps(rate_pps, packet_bytes),
+        rate_pps=rate_pps,
+        bottleneck=bottleneck,
+        packet_bytes=packet_bytes,
+        loads=loads,
+        component_rates_pps=limits,
+    )
+
+
 def max_loss_free_rate(workload: "Union[WorkloadSpec, cal.AppCost]",
                        packet_bytes: Optional[float] = None,
                        spec: ServerSpec = NEHALEM,
@@ -127,19 +159,9 @@ def max_loss_free_rate(workload: "Union[WorkloadSpec, cal.AppCost]",
     if packet_bytes <= 0:
         raise ConfigurationError("packet size must be positive")
     loads = per_packet_loads(app, packet_bytes, config, spec)
-    limits = _component_rate_limits(loads, spec, empirical_bounds)
-    if nic_limited:
-        limits["nic"] = spec.max_input_bps / (packet_bytes * 8)
-    bottleneck = min(limits, key=limits.get)
-    rate_pps = limits[bottleneck]
-    return RateResult(
-        rate_bps=rate_pps_to_bps(rate_pps, packet_bytes),
-        rate_pps=rate_pps,
-        bottleneck=bottleneck,
-        packet_bytes=packet_bytes,
-        loads=loads,
-        component_rates_pps=limits,
-    )
+    return rate_from_loads(loads, packet_bytes, spec=spec,
+                           empirical_bounds=empirical_bounds,
+                           nic_limited=nic_limited)
 
 
 def saturation_throughput(workload, mean_packet_bytes: float = None,

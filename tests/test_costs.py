@@ -1,0 +1,364 @@
+"""Tests for the unified cost layer (repro.costs).
+
+The load-bearing property is *exactness*: compiling a preset application's
+Click pipeline element-by-element must reproduce the analytic per-packet
+load vector bit-for-bit (well, to float tolerance), because both sides now
+draw from the same :class:`~repro.costs.CostModel`.
+"""
+
+import warnings
+
+import pytest
+
+from repro import calibration as cal
+from repro.analysis.bottleneck import pipeline_breakdown
+from repro.click import (
+    Discard,
+    Element,
+    PollDevice,
+    RouterGraph,
+    Tee,
+    build_pipeline,
+)
+from repro.costs import (
+    DEFAULT_CONFIG,
+    DEFAULT_COST_MODEL,
+    CostModel,
+    ResourceVector,
+    ServerConfig,
+    ZERO_VECTOR,
+    compile_loads,
+    element_costs,
+    traversal_probabilities,
+)
+from repro.errors import ConfigurationError
+from repro.hw.presets import NEHALEM, XEON_SHARED_BUS
+from repro.hw.server import Server
+from repro.net.packet import Packet
+from repro.perfmodel import per_packet_loads, rate_from_loads
+
+COMPONENTS = ("cpu_cycles", "mem_bytes", "io_bytes", "pcie_bytes",
+              "qpi_bytes")
+
+
+def make_packet(size=64):
+    return Packet(length=size)
+
+
+# -- ResourceVector algebra -------------------------------------------------
+
+class TestResourceVector:
+    def test_defaults_are_zero(self):
+        assert ResourceVector().is_zero()
+        assert ZERO_VECTOR.is_zero()
+
+    def test_add_and_sub(self):
+        a = ResourceVector(cpu_cycles=100.0, mem_bytes=10.0)
+        b = ResourceVector(cpu_cycles=20.0, io_bytes=5.0)
+        s = a + b
+        assert s.cpu_cycles == 120.0
+        assert s.mem_bytes == 10.0
+        assert s.io_bytes == 5.0
+        d = s - b
+        assert d.cpu_cycles == pytest.approx(a.cpu_cycles)
+        assert d.io_bytes == pytest.approx(0.0)
+
+    def test_scaled(self):
+        v = ResourceVector(cpu_cycles=3.0, pcie_bytes=2.0).scaled(64)
+        assert v.cpu_cycles == 192.0
+        assert v.pcie_bytes == 128.0
+        assert v.mem_bytes == 0.0
+
+    def test_with_cpu_replaces_only_cpu(self):
+        v = ResourceVector(cpu_cycles=1.0, qpi_bytes=7.0).with_cpu(42.0)
+        assert v.cpu_cycles == 42.0
+        assert v.qpi_bytes == 7.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ResourceVector().cpu_cycles = 1.0
+
+
+# -- CostModel ---------------------------------------------------------------
+
+class TestCostModel:
+    def test_bookkeeping_matches_table1(self):
+        model = DEFAULT_COST_MODEL
+        assert model.bookkeeping_cycles(32, 16) == pytest.approx(
+            cal.BOOK_POLL_CYCLES / 32 + cal.BOOK_NIC_CYCLES / 16)
+        # No batching: the full poll + NIC overhead per packet.
+        assert model.bookkeeping_cycles(1, 1) == pytest.approx(
+            cal.BOOK_POLL_CYCLES + cal.BOOK_NIC_CYCLES)
+
+    def test_bookkeeping_rejects_bad_batches(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_COST_MODEL.bookkeeping_cycles(0, 16)
+
+    def test_app_resolution(self):
+        model = DEFAULT_COST_MODEL
+        assert model.app("ipsec") is cal.APPLICATIONS["ipsec"]
+        assert model.app(cal.MINIMAL_FORWARDING) is cal.MINIMAL_FORWARDING
+        assert model.app(None) is cal.APPLICATIONS["routing"]
+        with pytest.raises(ConfigurationError):
+            model.app("quantum-routing")
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(baseline="nope")
+
+    def test_app_vector_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_COST_MODEL.app_vector("routing", 0)
+
+    def test_per_packet_vector_equals_legacy_loads(self):
+        for app in ("forwarding", "routing", "ipsec"):
+            for size in (64, 1024):
+                vec = DEFAULT_COST_MODEL.per_packet_vector(app, size)
+                legacy = per_packet_loads(cal.APPLICATIONS[app], size)
+                for comp in COMPONENTS:
+                    assert getattr(vec, comp) == pytest.approx(
+                        getattr(legacy, comp), rel=1e-12)
+
+    def test_single_queue_penalty(self):
+        multi = DEFAULT_COST_MODEL.per_packet_vector(
+            "routing", 64, ServerConfig(multi_queue=True))
+        single = DEFAULT_COST_MODEL.per_packet_vector(
+            "routing", 64, ServerConfig(multi_queue=False))
+        assert single.cpu_cycles - multi.cpu_cycles == pytest.approx(
+            cal.PIPELINE_SYNC_CYCLES)
+        assert single.mem_bytes == multi.mem_bytes
+
+    def test_shared_bus_cpi_inflation(self):
+        base = DEFAULT_COST_MODEL.per_packet_vector("routing", 64)
+        slow = DEFAULT_COST_MODEL.per_packet_vector(
+            "routing", 64, DEFAULT_CONFIG, XEON_SHARED_BUS)
+        assert slow.cpu_cycles == pytest.approx(
+            base.cpu_cycles * XEON_SHARED_BUS.cpi_factor)
+
+    def test_decomposition_sums_to_application(self):
+        """rx + tx + increment terms reassemble the whole-app vector."""
+        model = DEFAULT_COST_MODEL
+        kp, kn = DEFAULT_CONFIG.kp, DEFAULT_CONFIG.kn
+        for app in ("forwarding", "routing", "ipsec"):
+            for size in (64, 1024):
+                rx_b, rx_s = model.rx_terms(kp)
+                tx_b, tx_s = model.tx_terms(kn)
+                inc_b, inc_s = model.increment_terms(app)
+                total = (rx_b + tx_b + inc_b
+                         + (rx_s + tx_s + inc_s).scaled(size))
+                expected = model.app_vector(app, size)
+                expected = expected.with_cpu(
+                    expected.cpu_cycles + model.bookkeeping_cycles(kp, kn))
+                for comp in COMPONENTS:
+                    assert getattr(total, comp) == pytest.approx(
+                        getattr(expected, comp), rel=1e-9), (app, size, comp)
+
+    def test_derive_application_matches_custom_app(self):
+        app = DEFAULT_COST_MODEL.derive_application(
+            "dpi", cycles_per_packet=2000.0, cycles_per_byte=3.0,
+            extra_memory_lines=2.0)
+        base = DEFAULT_COST_MODEL.baseline
+        assert app.cpu_base_cycles == pytest.approx(
+            base.cpu_base_cycles + 2000.0)
+        assert app.cpu_per_byte_cycles == pytest.approx(
+            base.cpu_per_byte_cycles + 3.0)
+        assert app.mem_base_bytes == pytest.approx(
+            base.mem_base_bytes + 2 * 64)
+        with pytest.raises(ConfigurationError):
+            DEFAULT_COST_MODEL.derive_application("bad")
+
+
+# -- element costs and the deprecation shim ---------------------------------
+
+class TestElementCosts:
+    def test_affine_cost_evaluation(self):
+        e = Element("e")
+        e.set_cost_terms(ResourceVector(cpu_cycles=100.0),
+                         ResourceVector(cpu_cycles=2.0, mem_bytes=1.0))
+        v = e.resource_cost(make_packet(100))
+        assert v.cpu_cycles == pytest.approx(300.0)
+        assert v.mem_bytes == pytest.approx(100.0)
+
+    def test_cycle_cost_shim_warns_and_matches(self):
+        e = Element("e")
+        e.set_cost_terms(ResourceVector(cpu_cycles=5.0))
+        pkt = make_packet()
+        with pytest.warns(DeprecationWarning,
+                          match="cycle_cost is deprecated"):
+            cycles = e.cycle_cost(pkt)
+        assert cycles == pytest.approx(e.resource_cost(pkt).cpu_cycles)
+
+    def test_legacy_override_becomes_cpu_vector(self):
+        class Legacy(Element):
+            def cycle_cost(self, packet):
+                return 123.0
+
+        v = Legacy("l").resource_cost(make_packet())
+        assert v.cpu_cycles == 123.0
+        assert v.mem_bytes == 0.0
+
+    def test_device_elements_carry_model_terms(self):
+        server = Server(NEHALEM, num_ports=1, queues_per_port=1)
+        poll = PollDevice(server.port(0), queue_id=0, kp=32)
+        base, per_byte = DEFAULT_COST_MODEL.rx_terms(32)
+        assert poll.cost_base == base
+        assert poll.cost_per_byte == per_byte
+
+
+# -- traversal probabilities -------------------------------------------------
+
+def chain(*elements):
+    graph = RouterGraph()
+    graph.add_all(elements)
+    for up, down in zip(elements, elements[1:]):
+        up.connect_to(down)
+    return graph
+
+
+class TestTraversalProbabilities:
+    def test_linear_chain_is_all_ones(self):
+        graph = chain(Element("a"), Element("b"), Discard(name="c"))
+        probs = traversal_probabilities(graph)
+        assert probs == {"a": 1.0, "b": 1.0, "c": 1.0}
+
+    def test_tee_duplicates(self):
+        tee = Tee(2, name="tee")
+        d1, d2 = Discard(name="d1"), Discard(name="d2")
+        graph = RouterGraph()
+        graph.add_all([tee, d1, d2])
+        tee.connect_to(d1, output=0)
+        tee.connect_to(d2, output=1)
+        probs = traversal_probabilities(graph)
+        assert probs["d1"] == 1.0
+        assert probs["d2"] == 1.0
+
+    def test_entry_weights(self):
+        a, b = Element("a"), Element("b")
+        sink = Discard(name="sink")
+        merge = Element("merge")
+        graph = RouterGraph()
+        graph.add_all([a, b, merge, sink])
+        a.connect_to(merge)
+        b.connect_to(merge, peer_port=0)
+        merge.connect_to(sink)
+        probs = traversal_probabilities(graph, {"a": 0.75, "b": 0.25})
+        assert probs["a"] == 0.75
+        assert probs["b"] == 0.25
+        assert probs["merge"] == pytest.approx(1.0)
+        # Default: uniform split across entries.
+        uniform = traversal_probabilities(graph)
+        assert uniform["a"] == pytest.approx(0.5)
+
+    def test_bad_entry_weights_rejected(self):
+        graph = chain(Element("a"), Discard(name="z"))
+        with pytest.raises(ConfigurationError):
+            traversal_probabilities(graph, {"a": 1.5})
+        with pytest.raises(ConfigurationError):
+            traversal_probabilities(graph, {"a": -0.1})
+
+    def test_cycle_rejected(self):
+        entry, a, b = Element("entry"), Element("a"), Element("b")
+        entry.connect_to(a)
+        a.connect_to(b)
+        b.connect_to(a)
+        graph = RouterGraph()
+        graph.add_all([entry, a, b])
+        with pytest.raises(ConfigurationError, match="cycle"):
+            traversal_probabilities(graph)
+
+    def test_all_inputs_connected_rejected(self):
+        a, b = Element("a"), Element("b")
+        a.connect_to(b)
+        b.connect_to(a)
+        graph = RouterGraph()
+        graph.add_all([a, b])
+        with pytest.raises(ConfigurationError, match="no entry elements"):
+            traversal_probabilities(graph)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            traversal_probabilities(RouterGraph())
+
+    def test_peer_outside_graph_rejected(self):
+        a, b = Element("a"), Element("b")
+        a.connect_to(b)
+        graph = RouterGraph()
+        graph.add(a)
+        with pytest.raises(ConfigurationError, match="not in the graph"):
+            traversal_probabilities(graph)
+
+
+# -- compile_loads: the preset-exactness acceptance criterion ----------------
+
+@pytest.mark.parametrize("app", ["forwarding", "routing", "ipsec"])
+@pytest.mark.parametrize("size", [64, 1024])
+def test_compile_loads_reproduces_preset_vectors(app, size):
+    """Element-wise compilation == the analytic per-packet load vector."""
+    server = Server(NEHALEM, num_ports=1, queues_per_port=1)
+    graph = build_pipeline(app, server)
+    compiled = compile_loads(graph, packet_bytes=size)
+    analytic = per_packet_loads(cal.APPLICATIONS[app], size)
+    for comp in COMPONENTS:
+        assert getattr(compiled, comp) == pytest.approx(
+            getattr(analytic, comp), rel=1e-9), (app, size, comp)
+
+
+def test_compile_loads_feeds_rate_solver():
+    server = Server(NEHALEM, num_ports=1, queues_per_port=1)
+    graph = build_pipeline("routing", server)
+    loads = compile_loads(graph, packet_bytes=64)
+    result = rate_from_loads(loads, 64)
+    legacy = rate_from_loads(per_packet_loads(cal.IP_ROUTING, 64), 64)
+    assert result.rate_bps == pytest.approx(legacy.rate_bps, rel=1e-9)
+    assert result.bottleneck == legacy.bottleneck
+
+
+def test_compile_loads_single_queue_penalty():
+    server = Server(NEHALEM, num_ports=1, queues_per_port=1)
+    graph = build_pipeline("forwarding", server)
+    multi = compile_loads(graph, 64, ServerConfig(multi_queue=True))
+    single = compile_loads(graph, 64, ServerConfig(multi_queue=False))
+    assert single.cpu_cycles - multi.cpu_cycles == pytest.approx(
+        cal.PIPELINE_SYNC_CYCLES)
+
+
+def test_compile_loads_rejects_bad_size():
+    server = Server(NEHALEM, num_ports=1, queues_per_port=1)
+    graph = build_pipeline("forwarding", server)
+    with pytest.raises(ConfigurationError):
+        compile_loads(graph, packet_bytes=0)
+
+
+def test_element_costs_rows():
+    server = Server(NEHALEM, num_ports=1, queues_per_port=1)
+    graph = build_pipeline("routing", server)
+    rows = element_costs(graph, packet_bytes=64)
+    by_name = {row["element"]: row for row in rows}
+    assert by_name["src"]["class"] == "PollDevice"
+    assert by_name["src"]["probability"] == 1.0
+    assert by_name["src"]["cpu_cycles"] > 0
+    # With a 1-port table the lookup never misses: the Discard arm is cold.
+    discard = [row for row in rows if row["class"] == "Discard"]
+    assert discard and discard[0]["probability"] == 0.0
+    assert discard[0]["cpu_cycles"] == 0.0
+
+
+def test_pipeline_breakdown_summary():
+    server = Server(NEHALEM, num_ports=1, queues_per_port=1)
+    graph = build_pipeline("routing", server)
+    summary = pipeline_breakdown(graph, packet_bytes=64)
+    assert summary["rate_gbps"] > 0
+    assert summary["bottleneck"] in summary["loads"]
+    assert len(summary["elements"]) == len(graph.elements())
+    legacy = rate_from_loads(per_packet_loads(cal.IP_ROUTING, 64), 64)
+    assert summary["rate_gbps"] == pytest.approx(
+        legacy.rate_bps / 1e9, rel=1e-9)
+
+
+def test_no_stray_deprecation_warnings_on_preset_compile():
+    """The rewiring must not route through the deprecated shim."""
+    server = Server(NEHALEM, num_ports=1, queues_per_port=1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        graph = build_pipeline("ipsec", server)
+        compile_loads(graph, packet_bytes=64)

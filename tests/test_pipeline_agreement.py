@@ -1,0 +1,75 @@
+"""Model-vs-DES agreement for a *custom* (non-preset) Click pipeline.
+
+The unified cost layer's whole point: compile an arbitrary pipeline's
+element graph to a per-packet load vector, predict its maximum loss-free
+rate analytically, then actually run the same pipeline in the timed
+simulation and check the saturation rates agree.  The pipeline here is
+deliberately not one of the PRESET_PIPELINES texts -- it adds a Counter
+on the fast path -- so agreement cannot come from preset-specific
+calibration.
+"""
+
+import pytest
+
+from repro.click import TimedPipelineRun, build_pipeline
+from repro.costs import compile_loads
+from repro.hw.presets import NEHALEM
+from repro.hw.server import Server
+from repro.perfmodel import rate_from_loads
+
+CUSTOM_PIPELINE = """
+    // Routing with an extra Counter on the fast path (not a preset).
+    src :: PollDevice(0);
+    rt :: LookupIPRoute(1);
+    src -> Counter -> CheckIPHeader -> DecIPTTL -> rt;
+    rt [0] -> EtherEncap -> ToDevice(0);
+    rt [1] -> Discard;
+"""
+
+PACKET_BYTES = 64
+
+
+def analytic_rate_bps():
+    server = Server(NEHALEM, num_ports=1, queues_per_port=1)
+    graph = build_pipeline(CUSTOM_PIPELINE, server)
+    loads = compile_loads(graph, packet_bytes=PACKET_BYTES)
+    return rate_from_loads(loads, PACKET_BYTES).rate_bps
+
+
+def test_custom_pipeline_compiles_like_routing_plus_counter():
+    """Sanity: the custom graph costs at least the routing preset."""
+    server = Server(NEHALEM, num_ports=1, queues_per_port=1)
+    custom = compile_loads(build_pipeline(CUSTOM_PIPELINE, server),
+                           packet_bytes=PACKET_BYTES)
+    server2 = Server(NEHALEM, num_ports=1, queues_per_port=1)
+    preset = compile_loads(build_pipeline("routing", server2),
+                           packet_bytes=PACKET_BYTES)
+    assert custom.cpu_cycles >= preset.cpu_cycles
+    assert custom.mem_bytes == pytest.approx(preset.mem_bytes)
+
+
+@pytest.mark.slow
+def test_model_vs_des_agreement_on_custom_pipeline():
+    """DES saturation rate within 10% of the analytic prediction."""
+    predicted_bps = analytic_rate_bps()
+    server = Server(NEHALEM, num_ports=1,
+                    queues_per_port=NEHALEM.total_cores)
+    run = TimedPipelineRun(server, CUSTOM_PIPELINE,
+                           packet_bytes=PACKET_BYTES)
+    measured_bps = run.find_loss_free_rate(
+        low_bps=0.25 * predicted_bps, high_bps=2.0 * predicted_bps,
+        tolerance_bps=0.02 * predicted_bps, duration_sec=1e-3)
+    assert measured_bps == pytest.approx(predicted_bps, rel=0.10)
+
+
+@pytest.mark.slow
+def test_des_saturates_not_below_offered_load():
+    """Below the predicted rate the pipeline run is sustainable."""
+    predicted_bps = analytic_rate_bps()
+    server = Server(NEHALEM, num_ports=1,
+                    queues_per_port=NEHALEM.total_cores)
+    run = TimedPipelineRun(server, CUSTOM_PIPELINE,
+                           packet_bytes=PACKET_BYTES)
+    report = run.run(0.7 * predicted_bps, duration_sec=1e-3)
+    assert report.sustainable(2 * run.kp * len(run._rx_queues()))
+    assert report.forwarded_packets > 0
