@@ -3,13 +3,35 @@
 Each benchmark regenerates one paper artifact (table or figure), checks the
 paper-vs-measured shape, and writes the rendered rows to
 ``benchmarks/results/<id>.txt`` so the harness leaves inspectable output.
+
+Every test starts from the same RNG state (`_seed_rngs`), so scenario
+outputs -- and the ``BENCH_*.json`` scalars :mod:`repro.obs.benchrun`
+derives from them -- are bit-identical run to run; only wall-clock
+timings vary.  ``repro.obs.benchrun`` applies the same seed when it
+drives these files outside pytest.
 """
 
 import pathlib
+import random
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Keep in sync with ``repro.obs.benchrun.DEFAULT_SEED``.
+BENCH_SEED = 20090917
+
+
+@pytest.fixture(autouse=True)
+def _seed_rngs():
+    """Pin every RNG a scenario might consult, per test."""
+    random.seed(BENCH_SEED)
+    try:
+        import numpy
+    except ImportError:
+        pass
+    else:
+        numpy.random.seed(BENCH_SEED)
 
 
 @pytest.fixture(scope="session")

@@ -10,12 +10,16 @@ Commands
 ``rb4``          the 4-node cluster's operating points
 ``faults``       graceful degradation: analytic curve or a scripted DES run
 ``trace``        generate or inspect pcap traces of the synthetic workloads
+``obs``          run instrumented benchmarks, report/diff BENCH_*.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
+import time
 
 from . import calibration as cal
 from .analysis import EXPERIMENTS, format_table, run_experiment
@@ -325,6 +329,113 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from .obs import benchrun, compare
+
+    if args.seed is None:
+        args.seed = benchrun.DEFAULT_SEED
+    if args.tolerance is None:
+        args.tolerance = compare.DEFAULT_TOLERANCE
+
+    if args.action == "run":
+        if args.all:
+            names = benchrun.discover()
+        elif args.quick:
+            names = list(benchrun.QUICK_BENCHMARKS)
+        else:
+            names = args.names
+        if not names:
+            print("error: name one or more benchmarks, or pass "
+                  "--quick/--all; available:\n  %s"
+                  % "\n  ".join(benchrun.discover()), file=sys.stderr)
+            return 2
+        out_dir = pathlib.Path(args.out_dir)
+        docs = []
+        failed = False
+        for name in names:
+            try:
+                doc = benchrun.run_benchmark(name, seed=args.seed)
+            except FileNotFoundError as error:
+                print("error: %s" % error, file=sys.stderr)
+                return 2
+            path = benchrun.write_bench_json(doc, out_dir)
+            docs.append(doc)
+            failed = failed or doc["status"] != "passed"
+            rates = sum(1 for s in doc["scalars"].values()
+                        if s["kind"] == "rate")
+            print("%-24s %-7s %6.2fs  %2d tests, %2d rate scalars -> %s"
+                  % (doc["name"], doc["status"], doc["wall_time_sec"],
+                     len(doc["tests"]), rates, path))
+        if args.update_baseline:
+            baseline = compare.make_baseline(
+                docs, created_unix=time.time())
+            with open(args.update_baseline, "w") as handle:
+                json.dump(baseline, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("baseline (%d benchmarks) -> %s"
+                  % (len(docs), args.update_baseline))
+        return 1 if failed else 0
+
+    if args.action == "report":
+        from .obs.schema import validate_bench
+
+        if len(args.names) != 1:
+            print("usage: repro obs report BENCH_<name>.json",
+                  file=sys.stderr)
+            return 2
+        try:
+            doc = compare.load_json(args.names[0])
+        except (OSError, json.JSONDecodeError) as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+        problems = validate_bench(doc)
+        if problems:
+            print("invalid document: %s" % "; ".join(problems),
+                  file=sys.stderr)
+            return 2
+        print("benchmark %s: %s in %.2fs (seed %s)"
+              % (doc["name"], doc["status"], doc["wall_time_sec"],
+                 doc.get("seed", "?")))
+        for test in doc["tests"]:
+            line = "  %-40s %s" % (test["name"], test["status"])
+            if test["status"] not in ("passed",) and test.get("detail"):
+                line += "  (%s)" % test["detail"]
+            print(line)
+        for name in sorted(doc["scalars"]):
+            cell = doc["scalars"][name]
+            print("  %-44s %12.6g  %s"
+                  % (name, cell["value"], cell["kind"]))
+        metrics = doc.get("metrics", {})
+        for section in ("counters", "gauges", "histograms", "timelines"):
+            entries = metrics.get(section) or {}
+            if entries:
+                print("  %s: %s" % (section, ", ".join(sorted(entries))))
+        traces = metrics.get("traces") or {}
+        if traces.get("seen"):
+            print("  traces: %d sampled of %d packets (1 in %d)"
+                  % (traces["sampled"], traces["seen"],
+                     traces["sample_every"]))
+        return 0
+
+    # action == "diff"
+    if len(args.names) != 2:
+        print("usage: repro obs diff BASELINE.json BENCH_current.json",
+              file=sys.stderr)
+        return 2
+    try:
+        baseline_doc = compare.load_json(args.names[0])
+        bench_doc = compare.load_json(args.names[1])
+        kinds = ("rate", "time") if args.times else ("rate",)
+        deltas = compare.compare_docs(baseline_doc, bench_doc,
+                                      tolerance=args.tolerance,
+                                      kinds=kinds)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    print(compare.summarize(deltas))
+    return 1 if any(d.regressed for d in deltas) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RouteBricks reproduction toolkit")
@@ -412,6 +523,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--detail", action="store_true",
                    help="flow/burstiness/size breakdown for 'info'")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("obs",
+                       help="instrumented benchmark runs and regression "
+                            "diffs (BENCH_*.json)")
+    p.add_argument("action", choices=["run", "report", "diff"])
+    p.add_argument("names", nargs="*",
+                   help="run: benchmark names (bench_ prefix optional); "
+                        "report: one BENCH json; diff: baseline + current")
+    p.add_argument("--quick", action="store_true",
+                   help="run: the fast CI subset")
+    p.add_argument("--all", action="store_true",
+                   help="run: every benchmarks/bench_*.py")
+    p.add_argument("--out-dir", default="benchmarks/results",
+                   help="run: where BENCH_<name>.json lands")
+    p.add_argument("--seed", type=int, default=None,
+                   help="run: RNG seed for every scenario")
+    p.add_argument("--update-baseline", metavar="PATH",
+                   help="run: also bake the results into a baseline file")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="diff: fractional regression threshold "
+                        "(default 0.10)")
+    p.add_argument("--times", action="store_true",
+                   help="diff: also gate wall-time scalars (noisy on "
+                        "shared machines)")
+    p.set_defaults(func=_cmd_obs)
     return parser
 
 

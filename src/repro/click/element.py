@@ -17,6 +17,7 @@ from typing import List, Optional
 from ..costs import ZERO_VECTOR, ResourceVector
 from ..errors import ConfigurationError
 from ..net.packet import Packet
+from ..obs.trace import TRACE_ANNOTATION
 
 
 class PushPort:
@@ -90,6 +91,12 @@ class Element:
         """Entry point called by upstream elements."""
         self.packets_in += 1
         self.bytes_in += packet.length
+        trace = packet.annotations.get(TRACE_ANNOTATION)
+        if trace is not None:
+            # Elements execute within one DES event, so the hop carries
+            # no timestamp of its own; the element *sequence* is the
+            # signal (reports inherit the enclosing event's clock).
+            trace.hop(self.name)
         self.process(packet, port)
 
     def push(self, packet: Packet, output: int = 0) -> None:

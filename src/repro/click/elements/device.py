@@ -24,6 +24,7 @@ from ...costs import DEFAULT_COST_MODEL, CostModel
 from ...errors import ConfigurationError
 from ...hw.nic import NicPort, NicQueue
 from ...net.packet import Packet
+from ...obs.trace import TRACE_ANNOTATION
 from ..element import Element
 
 
@@ -62,6 +63,9 @@ class PollDevice(Element):
         for packet in batch:
             self.packets_in += 1
             self.bytes_in += packet.length
+            trace = packet.annotations.get(TRACE_ANNOTATION)
+            if trace is not None:
+                trace.hop(self.name)  # run_task bypasses receive()
             self.push(packet)
         return len(batch)
 

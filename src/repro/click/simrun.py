@@ -28,6 +28,8 @@ from .. import calibration as cal
 from ..costs import DEFAULT_COST_MODEL, CostModel
 from ..errors import ConfigurationError
 from ..hw.server import Server
+from ..obs.metrics import active_registry
+from ..obs.trace import TRACE_ANNOTATION
 from ..simnet.engine import Simulator
 from ..workloads.synthetic import FixedSizeWorkload
 from .element import Element
@@ -37,6 +39,51 @@ from .elements.standard import PacketQueue
 #: Cycles burned by a poll that finds no packets (Sec. 5.3's ce).
 #: Re-exported from :mod:`repro.calibration`, the single owner.
 EMPTY_POLL_CYCLES = cal.EMPTY_POLL_CYCLES
+
+
+class _RunObs:
+    """Resolved metric handles for one timed run (absent when disabled).
+
+    Both runners charge the same names: ``core_cycles``/``core_polls``
+    split busy vs empty (the Sec. 5.3 idle-polling attribution),
+    ``bus_bytes`` per shared bus, ``rxq_occupancy``/``rxq_drops``
+    timelines per RX ring.
+    """
+
+    def __init__(self, registry):
+        self.registry = registry
+        self.core_cycles = registry.counter(
+            "core_cycles", help="cycles charged per core, busy vs empty")
+        self.core_polls = registry.counter(
+            "core_polls", help="poll events per core, busy vs empty")
+        self.bus_bytes = registry.counter(
+            "bus_bytes", help="bytes moved per shared bus")
+        self.rxq_occupancy = registry.timeline(
+            "rxq_occupancy", help="RX-ring occupancy, sampled per poll")
+        self.rxq_drops = registry.timeline(
+            "rxq_drops", help="RX-ring drops per time bin")
+        self.tracer = registry.tracer
+
+    @classmethod
+    def resolve(cls, metrics) -> "Optional[_RunObs]":
+        registry = metrics if metrics is not None else active_registry()
+        return cls(registry) if registry.enabled else None
+
+    def charge_core(self, core_id: int, cycles: float, busy: bool) -> None:
+        kind = "busy" if busy else "empty"
+        self.core_cycles.inc(cycles, core=core_id, kind=kind)
+        self.core_polls.inc(1, core=core_id, kind=kind)
+
+    def charge_bus(self, mem: float, io: float, pcie: float,
+                   qpi: float) -> None:
+        if mem:
+            self.bus_bytes.inc(mem, bus="memory")
+        if io:
+            self.bus_bytes.inc(io, bus="io")
+        if pcie:
+            self.bus_bytes.inc(pcie, bus="pcie")
+        if qpi:
+            self.bus_bytes.inc(qpi, bus="qpi")
 
 
 @dataclass
@@ -88,7 +135,8 @@ class TimedForwardingRun:
     def __init__(self, server: Server, packet_bytes: int = 64,
                  kp: int = cal.DEFAULT_KP, kn: int = cal.DEFAULT_KN,
                  app: cal.AppCost = cal.MINIMAL_FORWARDING,
-                 cost_model: CostModel = DEFAULT_COST_MODEL):
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 metrics=None):
         if not server.ports:
             raise ConfigurationError("server has no ports attached")
         if kp < 1 or not 1 <= kn <= cal.MAX_NIC_BATCH:
@@ -99,6 +147,7 @@ class TimedForwardingRun:
         self.kn = kn
         self.app = app
         self.cost_model = cost_model
+        self.metrics = metrics
         self.cycles_per_packet = (
             cost_model.app_vector(app, packet_bytes).cpu_cycles
             + cost_model.bookkeeping_cycles(kp, kn))
@@ -118,7 +167,8 @@ class TimedForwardingRun:
         """Offer fixed-size packets at ``offered_bps`` for ``duration_sec``."""
         if offered_bps <= 0 or duration_sec <= 0:
             raise ConfigurationError("offered load and duration must be > 0")
-        sim = Simulator()
+        obs = _RunObs.resolve(self.metrics)
+        sim = Simulator(metrics=self.metrics)
         workload = FixedSizeWorkload(packet_bytes=self.packet_bytes,
                                      num_flows=len(self._assignments) * 8,
                                      seed=seed)
@@ -133,6 +183,11 @@ class TimedForwardingRun:
         for queue in queues:
             while queue.pop() is not None:
                 pass
+        # Every packet of this run carries the same app vector, so bus
+        # bytes are chargeable per batch without walking elements.
+        per_packet_vec = (self.cost_model.app_vector(self.app,
+                                                     self.packet_bytes)
+                          if obs is not None else None)
 
         def arrival(index=[0]):
             try:
@@ -141,12 +196,19 @@ class TimedForwardingRun:
                 return
             queue = queues[index[0] % len(queues)]
             index[0] += 1
-            queue.push(packet)
+            if obs is not None:
+                trace = obs.tracer.maybe_start(packet, sim.now, "arrival")
+                if not queue.push(packet) and trace is not None:
+                    trace.hop("dropped", sim.now)
+            else:
+                queue.push(packet)
             sim.schedule(interarrival, arrival)
 
         clock_hz = self.server.spec.clock_hz
 
-        def make_poll_loop(core, queue):
+        def make_poll_loop(core, queue, queue_label):
+            seen_drops = [queue.dropped]
+
             def poll():
                 if sim.now >= duration_sec:
                     return
@@ -159,12 +221,32 @@ class TimedForwardingRun:
                     state["empty_polls"] += 1
                     cycles = self.cost_model.empty_poll_cycles
                 core.charge(cycles)
+                if obs is not None:
+                    obs.charge_core(core.core_id, cycles, bool(batch))
+                    obs.rxq_occupancy.record(sim.now, len(queue),
+                                             queue=queue_label)
+                    if queue.dropped > seen_drops[0]:
+                        obs.rxq_drops.record(
+                            sim.now, queue.dropped - seen_drops[0],
+                            queue=queue_label)
+                        seen_drops[0] = queue.dropped
+                    if batch:
+                        n = len(batch)
+                        obs.charge_bus(n * per_packet_vec.mem_bytes,
+                                       n * per_packet_vec.io_bytes,
+                                       n * per_packet_vec.pcie_bytes,
+                                       n * per_packet_vec.qpi_bytes)
+                        for packet in batch:
+                            trace = packet.annotations.get(TRACE_ANNOTATION)
+                            if trace is not None:
+                                trace.hop("core%d" % core.core_id, sim.now,
+                                          note="forwarded")
                 sim.schedule(cycles / clock_hz, poll)
             return poll
 
         sim.schedule(0.0, arrival)
-        for core, queue in self._assignments:
-            sim.schedule(0.0, make_poll_loop(core, queue))
+        for index, (core, queue) in enumerate(self._assignments):
+            sim.schedule(0.0, make_poll_loop(core, queue, str(index)))
         sim.run(until=duration_sec)
 
         dropped = sum(queue.dropped for queue in queues) - drops_before
@@ -223,6 +305,22 @@ def _element_cycles(element: Element, d_packets: int,
             + d_bytes * element.cost_per_byte.cpu_cycles)
 
 
+def _element_vector(element: Element, d_packets: int, d_bytes: float):
+    """Full :class:`~repro.costs.ResourceVector` for the same new work.
+
+    The CPU entry matches :func:`_element_cycles` exactly, so running
+    with observability on cannot change the simulated timing; the bus
+    entries feed the per-bus byte-utilization counters.
+    """
+    if d_packets <= 0:
+        return None
+    if type(element).cycle_cost is not Element.cycle_cost:
+        probe = _SizeProbe(d_bytes / d_packets)
+        return element.resource_cost(probe).scaled(d_packets)
+    return (element.cost_base.scaled(d_packets)
+            + element.cost_per_byte.scaled(d_bytes))
+
+
 class _PipelineReplica:
     """One core's instantiation of the pipeline (multi-queue slice)."""
 
@@ -254,7 +352,8 @@ class TimedPipelineRun:
                  kp: int = cal.DEFAULT_KP, kn: int = cal.DEFAULT_KN,
                  table=None, esp_context=None,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 replicas: Optional[int] = None):
+                 replicas: Optional[int] = None,
+                 metrics=None):
         from .pipelines import build_pipeline
         if not server.ports:
             raise ConfigurationError("server has no ports attached")
@@ -265,6 +364,7 @@ class TimedPipelineRun:
         self.kp = kp
         self.kn = kn
         self.cost_model = cost_model
+        self.metrics = metrics
         queues_per_port = min(port.num_queues for port in server.ports)
         n_replicas = min(len(server.cores), queues_per_port)
         if replicas is not None:
@@ -294,7 +394,8 @@ class TimedPipelineRun:
         """Offer fixed-size packets at ``offered_bps`` for ``duration_sec``."""
         if offered_bps <= 0 or duration_sec <= 0:
             raise ConfigurationError("offered load and duration must be > 0")
-        sim = Simulator()
+        obs = _RunObs.resolve(self.metrics)
+        sim = Simulator(metrics=self.metrics)
         workload = FixedSizeWorkload(packet_bytes=self.packet_bytes,
                                      num_flows=len(self.replicas) * 8,
                                      seed=seed)
@@ -316,7 +417,12 @@ class TimedPipelineRun:
                 return
             queue = rx_queues[index[0] % len(rx_queues)]
             index[0] += 1
-            queue.push(packet)
+            if obs is not None:
+                trace = obs.tracer.maybe_start(packet, sim.now, "arrival")
+                if not queue.push(packet) and trace is not None:
+                    trace.hop("dropped", sim.now)
+            else:
+                queue.push(packet)
             sim.schedule(interarrival, arrival)
 
         clock_hz = self.server.spec.clock_hz
@@ -324,6 +430,8 @@ class TimedPipelineRun:
         def make_poll_loop(replica):
             counters = {id(e): (e.packets_in, e.bytes_in)
                         for e in replica.elements}
+            seen_drops = {id(d): d.queue.dropped for d in replica.polls}
+            core = replica.core
 
             def poll():
                 if sim.now >= duration_sec:
@@ -340,20 +448,51 @@ class TimedPipelineRun:
                         downstream.receive(packet)
                         moved += 1
                 for device in replica.tos:
-                    state["forwarded"] += len(device.drain())
+                    drained = device.drain()
+                    state["forwarded"] += len(drained)
+                    if obs is not None:
+                        for packet in drained:
+                            trace = packet.annotations.get(TRACE_ANNOTATION)
+                            if trace is not None:
+                                trace.hop(device.name, sim.now, note="tx")
                 if moved:
                     cycles = 0.0
+                    mem = io = pcie = qpi = 0.0
                     for element in replica.elements:
                         packets0, bytes0 = counters[id(element)]
-                        cycles += _element_cycles(
-                            element, element.packets_in - packets0,
-                            element.bytes_in - bytes0)
+                        d_packets = element.packets_in - packets0
+                        d_bytes = element.bytes_in - bytes0
+                        if obs is None:
+                            cycles += _element_cycles(element, d_packets,
+                                                      d_bytes)
+                        else:
+                            vec = _element_vector(element, d_packets,
+                                                  d_bytes)
+                            if vec is not None:
+                                cycles += vec.cpu_cycles
+                                mem += vec.mem_bytes
+                                io += vec.io_bytes
+                                pcie += vec.pcie_bytes
+                                qpi += vec.qpi_bytes
                         counters[id(element)] = (element.packets_in,
                                                  element.bytes_in)
+                    if obs is not None:
+                        obs.charge_bus(mem, io, pcie, qpi)
                 else:
                     state["empty_polls"] += 1
                     cycles = self.cost_model.empty_poll_cycles
                 replica.core.charge(cycles)
+                if obs is not None:
+                    obs.charge_core(core.core_id, cycles, bool(moved))
+                    for device in replica.polls:
+                        obs.rxq_occupancy.record(sim.now, len(device.queue),
+                                                 queue=device.name)
+                        dropped = device.queue.dropped
+                        if dropped > seen_drops[id(device)]:
+                            obs.rxq_drops.record(
+                                sim.now, dropped - seen_drops[id(device)],
+                                queue=device.name)
+                            seen_drops[id(device)] = dropped
                 sim.schedule(cycles / clock_hz, poll)
             return poll
 

@@ -16,9 +16,11 @@ from typing import Callable, Dict, List, Optional
 
 from ..errors import SimulationError
 from ..net.packet import Packet
+from ..obs.metrics import active_registry
+from ..obs.trace import TRACE_ANNOTATION
 from ..simnet.engine import Simulator
 from ..simnet.links import Link
-from ..units import usec
+from ..units import to_usec, usec
 from .flowlet import FlowletTable
 from .latency import server_latency_usec
 from .mac_encoding import decode_output_node, encode_output_node
@@ -29,7 +31,8 @@ class ClusterNode:
 
     def __init__(self, node_id: int, sim: Simulator, num_nodes: int,
                  rng: random.Random, use_flowlets: bool = True,
-                 link_busy_threshold_sec: float = 200e-6):
+                 link_busy_threshold_sec: float = 200e-6,
+                 metrics=None):
         self.node_id = node_id
         self.sim = sim
         self.num_nodes = num_nodes
@@ -56,6 +59,20 @@ class ClusterNode:
         #: cables); path choice routes around them with purely local
         #: information, as VLB permits.
         self.failed_hops = set()
+        # Observability: resolved once; ``self.obs`` is None unless an
+        # enabled registry was passed in (or is globally active), so the
+        # per-packet cost of disabled instrumentation is one check.
+        registry = metrics if metrics is not None else active_registry()
+        self.obs = registry if registry.enabled else None
+        if self.obs is not None:
+            self._hop_latency = registry.histogram(
+                "vlb_hop_latency_usec",
+                help="per-hop latency by receiving role")
+            self._path_hops = registry.histogram(
+                "vlb_path_hops", help="nodes touched per delivered packet")
+            self._drop_counter = registry.counter(
+                "node_drops", help="packets lost, by node and cause")
+            self._tracer = registry.tracer
 
     # -- wiring -------------------------------------------------------------
 
@@ -63,6 +80,15 @@ class ClusterNode:
         if dst_node_id == self.node_id:
             raise SimulationError("node cannot link to itself")
         self.links[dst_node_id] = link
+
+    # -- accounting -----------------------------------------------------------
+
+    def _count_drop(self, reason: str, amount: int = 1) -> None:
+        """Book ``amount`` lost packets (and attribute the cause when
+        observability is on)."""
+        self.dropped += amount
+        if self.obs is not None and amount:
+            self._drop_counter.inc(amount, node=self.node_id, reason=reason)
 
     # -- failure --------------------------------------------------------------
 
@@ -76,7 +102,7 @@ class ClusterNode:
             flushed += link.flush()
         if self.egress_link is not None:
             flushed += self.egress_link.flush()
-        self.dropped += flushed
+        self._count_drop("crash_flush", flushed)
         return flushed
 
     def recover(self) -> None:
@@ -140,13 +166,17 @@ class ClusterNode:
         if not self.alive:
             # A dead server's external port is dark: offered traffic is
             # lost until the port is re-homed or the server recovers.
-            self.dropped += 1
+            self._count_drop("dead_port")
             return
         self.ingress_packets += 1
         packet.ingress_node = self.node_id
         packet.egress_node = egress_node
         packet.arrival_time = self.sim.now
         packet.path = [self.node_id]
+        if self.obs is not None:
+            packet.annotations["hop_t"] = self.sim.now
+            self._tracer.maybe_start(packet, self.sim.now,
+                                     "node%d.input" % self.node_id)
         encode_output_node(packet, egress_node, max_nodes=max(
             self.num_nodes, 1))
         delay = usec(server_latency_usec("input"))
@@ -162,27 +192,31 @@ class ClusterNode:
     def _send(self, packet: Packet, next_hop: int) -> None:
         if not self.alive:
             # The server died while the packet was being processed.
-            self.dropped += 1
+            self._count_drop("died_holding")
             return
         if next_hop in self.failed_hops:
             # A dead cable: anything committed to it is lost.
-            self.dropped += 1
+            self._count_drop("cut_cable")
             return
         link = self.links.get(next_hop)
         if link is None:
             raise SimulationError("node %d has no link to %d"
                                   % (self.node_id, next_hop))
         if not link.send(packet):
-            self.dropped += 1
+            self._count_drop("link_overflow")
 
     def receive_internal(self, packet: Packet) -> None:
         """A packet arrives on an internal link."""
         if not self.alive:
             # In-flight delivery to a crashed server: lost.
-            self.dropped += 1
+            self._count_drop("dead_receiver")
             return
         output = decode_output_node(packet)
         packet.path.append(self.node_id)
+        if self.obs is not None:
+            self._observe_hop(
+                packet, "output" if output == self.node_id
+                else "intermediate")
         if output == self.node_id:
             delay = usec(server_latency_usec("output"))
             self.sim.schedule(delay, lambda p=packet: self._egress(p))
@@ -193,21 +227,38 @@ class ClusterNode:
         self.sim.schedule(delay,
                           lambda p=packet, h=output: self._send(p, h))
 
+    def _observe_hop(self, packet: Packet, role: str) -> None:
+        """Charge one internal hop's latency to the role that received
+        it, and extend the packet's trace when it carries one."""
+        now = self.sim.now
+        last = packet.annotations.get("hop_t")
+        if last is not None:
+            self._hop_latency.observe(to_usec(now - last), role=role)
+        packet.annotations["hop_t"] = now
+        trace = packet.annotations.get(TRACE_ANNOTATION)
+        if trace is not None:
+            trace.hop("node%d.%s" % (self.node_id, role), now)
+
     def _egress(self, packet: Packet) -> None:
         if not self.alive:
-            self.dropped += 1
+            self._count_drop("dead_egress")
             return
         if self.egress_link is not None:
             if not self.egress_link.send(packet):
-                self.dropped += 1
+                self._count_drop("egress_overflow")
             return
         self._egress_done(packet)
 
     def _egress_done(self, packet: Packet) -> None:
         if not self.alive:
-            self.dropped += 1
+            self._count_drop("dead_egress")
             return
         self.egress_packets += 1
         packet.departure_time = self.sim.now
+        if self.obs is not None:
+            self._path_hops.observe(len(packet.path))
+            trace = packet.annotations.get(TRACE_ANNOTATION)
+            if trace is not None:
+                trace.hop("node%d.egress" % self.node_id, self.sim.now)
         if self.egress_callback is not None:
             self.egress_callback(packet, self.sim.now)

@@ -207,20 +207,24 @@ class RouteBricksRouter:
 
     # -- packet-level simulation ----------------------------------------------
 
-    def build_simulation(self, rate_limited_egress: bool = False) \
+    def build_simulation(self, rate_limited_egress: bool = False,
+                         metrics=None) \
             -> Tuple[Simulator, List[ClusterNode]]:
         """Instantiate the DES: nodes plus full-mesh internal links.
 
         With ``rate_limited_egress`` each node's external line is a real
         R-bps link: contended outputs serialize and drop, which the
-        fairness experiments need.
+        fairness experiments need.  ``metrics`` (or an enabled active
+        :mod:`repro.obs` registry) turns on per-hop latency, drop-cause,
+        and link-occupancy instrumentation.
         """
-        sim = Simulator()
+        sim = Simulator(metrics=metrics)
         rng = random.Random(self.seed)
         nodes = [ClusterNode(node_id=i, sim=sim, num_nodes=self.num_nodes,
                              rng=random.Random(rng.getrandbits(32)),
                              use_flowlets=self.use_flowlets,
-                             link_busy_threshold_sec=self.link_busy_threshold_sec)
+                             link_busy_threshold_sec=self.link_busy_threshold_sec,
+                             metrics=metrics)
                  for i in range(self.num_nodes)]
         for src in nodes:
             for dst in nodes:
@@ -248,7 +252,8 @@ class RouteBricksRouter:
                  faults=None,
                  manager=None,
                  detection_latency_sec: Optional[float] = None,
-                 fib_push_latency_sec: float = 0.0) -> SimulationReport:
+                 fib_push_latency_sec: float = 0.0,
+                 metrics=None) -> SimulationReport:
         """Run traffic through the cluster.
 
         ``events`` yields (time, ingress node, egress node, packet) -- or
@@ -285,7 +290,8 @@ class RouteBricksRouter:
                     "simulating a WorkloadSpec needs an explicit horizon "
                     "(until=...)")
             events = workload.events(until)
-        sim, nodes = self.build_simulation(rate_limited_egress)
+        sim, nodes = self.build_simulation(rate_limited_egress,
+                                           metrics=metrics)
         for src, dst in failed_links:
             if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
                 raise ConfigurationError("bad failed link (%r, %r)"
@@ -359,7 +365,18 @@ class RouteBricksRouter:
             report.offered_packets += 1
             sim.schedule_at(time, lambda n=nodes[ingress], p=packet,
                             e=egress: n.ingress(p, e))
+        observer = None
+        from ..obs.metrics import active_registry
+        registry = metrics if metrics is not None else active_registry()
+        if registry.enabled:
+            from ..obs.hooks import ClusterObserver, observer_interval
+            observer = ClusterObserver(
+                sim, nodes, registry,
+                interval_sec=observer_interval(until))
+            observer.start()
         sim.run(until=until)
+        if observer is not None:
+            observer.stop()
         for reseq in resequencers:
             # Final flush: release anything still held back.
             reseq.expire(sim.now + self.resequence_timeout_sec * 2)

@@ -1,0 +1,81 @@
+"""Observability: metrics, packet-path tracing, and the benchmark harness.
+
+Three layers:
+
+* :mod:`repro.obs.metrics` -- :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` / :class:`Timeline` behind a
+  :class:`MetricsRegistry`.  The DES hot paths (``simnet.engine``,
+  ``click.simrun``, the cluster nodes) charge the *active* registry,
+  which is disabled by default; enable one to get per-core cycle
+  attribution, per-queue occupancy/drop timelines, per-bus bytes, and
+  per-hop VLB latency out of any run.
+* :mod:`repro.obs.trace` -- 1-in-N sampled :class:`PathTrace` logs of
+  individual packets' element/hop journeys.
+* :mod:`repro.obs.benchrun` -- runs ``benchmarks/bench_*.py`` scenarios
+  outside pytest and emits schema-versioned ``BENCH_<name>.json``
+  artifacts (:mod:`repro.obs.schema`), which
+  :mod:`repro.obs.compare` diffs against a committed baseline -- the
+  CI perf-regression gate and ``python -m repro obs {run,report,diff}``
+  both consume exactly these.
+
+Metric names charged by the built-in instrumentation:
+
+=============================  ==========================================
+``sim_events``                 timeline of DES events executed
+``core_cycles{core,kind}``     cycles per core, ``kind=busy|empty``
+``core_polls{core,kind}``      poll counts per core, same split
+``bus_bytes{bus}``             bytes over memory/io/pcie/qpi
+``rxq_occupancy{queue}``       RX-ring occupancy timeline (sampled)
+``rxq_drops{queue}``           RX-ring drops per bin (delta)
+``vlb_hop_latency_usec{role}`` per-hop latency, ``role`` = the hop's
+                               receiving role (intermediate/output)
+``vlb_path_hops``              nodes touched per delivered packet
+``link_*{link}``               cluster cable occupancy/drops/bytes
+``ext_occupancy{node}``        rate-limited external line backlog
+=============================  ==========================================
+"""
+
+from .benchrun import (
+    QUICK_BENCHMARKS,
+    discover,
+    run_benchmark,
+    write_bench_json,
+)
+from .compare import Delta, compare_docs, make_baseline
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timeline,
+    active_registry,
+    set_active_registry,
+    use_registry,
+)
+from .trace import PathTrace, TraceSampler, trace_of
+
+from .schema import BASELINE_SCHEMA, BENCH_SCHEMA, validate_bench
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BENCH_SCHEMA",
+    "Counter",
+    "Delta",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PathTrace",
+    "QUICK_BENCHMARKS",
+    "Timeline",
+    "TraceSampler",
+    "active_registry",
+    "compare_docs",
+    "discover",
+    "make_baseline",
+    "run_benchmark",
+    "set_active_registry",
+    "trace_of",
+    "use_registry",
+    "validate_bench",
+    "write_bench_json",
+]

@@ -1,0 +1,401 @@
+"""Labeled metrics: counters, gauges, histograms, time-binned timelines.
+
+The paper's methodology is *bottleneck deconstruction*: attribute every
+cycle and byte to the resource that spent it (Sec. 4.2 uses CPU
+performance counters for exactly this).  :class:`MetricsRegistry` is the
+in-simulation equivalent -- a named collection of metric series that the
+DES hot paths charge while they run, cheap enough to leave compiled in
+and disabled by default.
+
+Every metric supports *labels* (``counter.inc(5, core=3)``), so one
+metric name holds a family of series -- per-core cycle attribution,
+per-queue occupancy, per-bus bytes.  :class:`Timeline` adds time-binned
+aggregation: values recorded at simulation timestamps land in fixed-width
+bins, giving occupancy/drop trajectories rather than end-of-run totals.
+
+A module-global *active registry* (disabled unless something enables it)
+lets instrumented subsystems pick up observability without threading a
+registry argument through every constructor: the benchmark runner
+installs an enabled registry, runs a scenario, and snapshots whatever the
+simulation charged.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    """Canonical, hashable form of a label set."""
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_str(key: LabelKey) -> str:
+    """Render a label key the Prometheus way: ``{core=3,kind=busy}``."""
+    if not key:
+        return ""
+    return "{%s}" % ",".join("%s=%s" % kv for kv in key)
+
+
+class Metric:
+    """Base: a named family of labeled series."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._series: Dict[LabelKey, object] = {}
+
+    def labelsets(self) -> List[LabelKey]:
+        return sorted(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+
+class Counter(Metric):
+    """A monotonically increasing labeled count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        return sum(self._series.values())
+
+    def series(self) -> Dict[str, float]:
+        return {_label_str(k): float(v)
+                for k, v in sorted(self._series.items())}
+
+
+class Gauge(Metric):
+    """A labeled value that can move both ways (occupancy, utilization)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self._series[_label_key(labels)] = float(value)
+
+    def add(self, delta: float, **labels) -> None:
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + delta
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> Dict[str, float]:
+        return {_label_str(k): float(v)
+                for k, v in sorted(self._series.items())}
+
+
+class _Reservoir:
+    """Value store behind one histogram series (exact quantiles)."""
+
+    __slots__ = ("values", "sorted")
+
+    def __init__(self):
+        self.values: List[float] = []
+        self.sorted = True
+
+    def observe(self, value: float) -> None:
+        if self.values and value < self.values[-1]:
+            self.sorted = False
+        self.values.append(value)
+
+    def _ensure(self) -> None:
+        if not self.sorted:
+            self.values.sort()
+            self.sorted = True
+
+    def quantile(self, q: float) -> float:
+        if not self.values:
+            raise ValueError("empty histogram series")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        self._ensure()
+        if q == 0.0:
+            return self.values[0]
+        rank = max(1, math.ceil(q * len(self.values)))
+        return self.values[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        self._ensure()
+        n = len(self.values)
+        # float() strips numpy scalars so snapshots stay JSON-able.
+        return {
+            "count": n,
+            "mean": float(sum(self.values) / n),
+            "min": float(self.values[0]),
+            "p50": float(self.quantile(0.50)),
+            "p90": float(self.quantile(0.90)),
+            "p99": float(self.quantile(0.99)),
+            "max": float(self.values[-1]),
+        }
+
+
+class Histogram(Metric):
+    """Labeled value distributions with exact quantiles."""
+
+    kind = "histogram"
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _Reservoir()
+        series.observe(value)
+
+    def count(self, **labels) -> int:
+        series = self._series.get(_label_key(labels))
+        return len(series.values) if series is not None else 0
+
+    def quantile(self, q: float, **labels) -> float:
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            raise ValueError("no series %r for labels %r"
+                             % (self.name, labels))
+        return series.quantile(q)
+
+    def summary(self, **labels) -> Dict[str, float]:
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            raise ValueError("no series %r for labels %r"
+                             % (self.name, labels))
+        return series.summary()
+
+    def series(self) -> Dict[str, Dict[str, float]]:
+        return {_label_str(k): r.summary()
+                for k, r in sorted(self._series.items())}
+
+
+class _TimelineSeries:
+    """Per-bin (sum, count, max) aggregates for one label set."""
+
+    __slots__ = ("bins",)
+
+    def __init__(self):
+        # bin index -> [sum, count, max]
+        self.bins: Dict[int, List[float]] = {}
+
+    def record(self, index: int, value: float) -> None:
+        cell = self.bins.get(index)
+        if cell is None:
+            self.bins[index] = [value, 1, value]
+        else:
+            cell[0] += value
+            cell[1] += 1
+            if value > cell[2]:
+                cell[2] = value
+
+
+class Timeline(Metric):
+    """Values binned into fixed-width windows of simulation time.
+
+    ``record(t, v)`` adds ``v`` to the bin containing ``t``; each bin
+    keeps sum, sample count, and max, so the same timeline serves both
+    *accumulating* signals (drops per window: read the sums) and
+    *sampled* signals (queue occupancy: read mean or max per window).
+    """
+
+    kind = "timeline"
+
+    def __init__(self, name: str, bin_sec: float, help: str = ""):
+        if bin_sec <= 0:
+            raise ValueError("timeline bin width must be positive")
+        super().__init__(name, help)
+        self.bin_sec = bin_sec
+
+    def record(self, time: float, value: float = 1.0, **labels) -> None:
+        if time < 0:
+            raise ValueError("timeline times are simulation seconds >= 0")
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _TimelineSeries()
+        series.record(int(time / self.bin_sec), value)
+
+    def bins(self, **labels) -> List[Tuple[float, float, int, float]]:
+        """Sorted ``(bin_start_sec, sum, count, max)`` rows for one series."""
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return []
+        return [(index * self.bin_sec, cell[0], int(cell[1]), cell[2])
+                for index, cell in sorted(series.bins.items())]
+
+    def totals(self, **labels) -> Dict[str, float]:
+        rows = self.bins(**labels)
+        if not rows:
+            return {"sum": 0.0, "count": 0, "peak": 0.0, "bins": 0}
+        return {"sum": sum(r[1] for r in rows),
+                "count": sum(r[2] for r in rows),
+                "peak": max(r[3] for r in rows),
+                "bins": len(rows)}
+
+    def series(self, max_bins: int = 100) -> Dict[str, dict]:
+        """JSON-able view; long series are coarsened to ``max_bins``."""
+        out = {}
+        for key in sorted(self._series):
+            labels = dict(key)
+            rows = self.bins(**labels)
+            merged = _coarsen(rows, max_bins)
+            out[_label_str(key)] = {
+                "bin_sec": self.bin_sec,
+                "totals": self.totals(**labels),
+                "bins": [[round(t, 9), float(s), c, float(m)]
+                         for t, s, c, m in merged],
+            }
+        return out
+
+
+def _coarsen(rows: List[Tuple[float, float, int, float]],
+             max_bins: int) -> List[Tuple[float, float, int, float]]:
+    """Merge adjacent bins so at most ``max_bins`` rows survive."""
+    if len(rows) <= max_bins:
+        return rows
+    group = math.ceil(len(rows) / max_bins)
+    merged = []
+    for start in range(0, len(rows), group):
+        chunk = rows[start:start + group]
+        merged.append((chunk[0][0],
+                       sum(r[1] for r in chunk),
+                       sum(r[2] for r in chunk),
+                       max(r[3] for r in chunk)))
+    return merged
+
+
+class MetricsRegistry:
+    """A named collection of metrics plus sampling configuration.
+
+    ``enabled`` is the master switch instrumented code checks before
+    doing any work; a disabled registry costs one attribute read per
+    charge site.  ``timeline_bin_sec`` sets the default bin width for
+    timelines created through the registry, and ``trace_sample_every``
+    configures the registry's packet-path :class:`~repro.obs.trace
+    .TraceSampler` (1-in-N sampling; see :mod:`repro.obs.trace`).
+    """
+
+    def __init__(self, enabled: bool = True,
+                 timeline_bin_sec: float = 1e-4,
+                 trace_sample_every: int = 64):
+        from .trace import TraceSampler
+        self.enabled = enabled
+        self.timeline_bin_sec = timeline_bin_sec
+        self._metrics: Dict[str, Metric] = {}
+        self.tracer = TraceSampler(sample_every=trace_sample_every)
+
+    # -- metric construction (get-or-create, type-checked) ----------------
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help=help, **kwargs) if kwargs else \
+                cls(name, help=help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError("metric %r is a %s, not a %s"
+                            % (name, metric.kind, cls.kind))
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(Histogram, name, help)
+
+    def timeline(self, name: str, bin_sec: Optional[float] = None,
+                 help: str = "") -> Timeline:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Timeline(name, bin_sec or self.timeline_bin_sec,
+                              help=help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Timeline):
+            raise TypeError("metric %r is a %s, not a timeline"
+                            % (name, metric.kind))
+        return metric
+
+    # -- introspection -----------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Drop every recorded series (configuration survives)."""
+        self._metrics.clear()
+        self.tracer.reset()
+
+    def snapshot(self, max_bins: int = 100,
+                 max_traces: int = 32) -> dict:
+        """A JSON-able dump of everything recorded so far."""
+        counters, gauges, histograms, timelines = {}, {}, {}, {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.series()
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.series()
+            elif isinstance(metric, Histogram):
+                histograms[name] = metric.series()
+            elif isinstance(metric, Timeline):
+                timelines[name] = metric.series(max_bins=max_bins)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "timelines": timelines,
+            "traces": {
+                "sampled": self.tracer.sampled,
+                "seen": self.tracer.seen,
+                "sample_every": self.tracer.sample_every,
+                "paths": [t.to_dict()
+                          for t in self.tracer.traces[:max_traces]],
+            },
+        }
+
+
+#: The default registry instrumented code falls back to.  Disabled, so a
+#: plain test run pays only the ``enabled`` check per charge site.
+_ACTIVE = MetricsRegistry(enabled=False)
+
+
+def active_registry() -> MetricsRegistry:
+    """The registry instrumentation charges when none is passed in."""
+    return _ACTIVE
+
+
+def set_active_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the global fallback; returns the old one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope an active registry (the benchmark runner's idiom)."""
+    previous = set_active_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_active_registry(previous)

@@ -1,0 +1,110 @@
+"""The versioned on-disk contract for benchmark artifacts.
+
+``BENCH_<name>.json`` is the interchange format between the benchmark
+runner (:mod:`repro.obs.benchrun`), the CLI (``repro obs report/diff``),
+and CI's regression gate (``scripts/check_bench_regression.py``) -- all
+three validate against this module rather than trusting each other.
+Version the schema string on any incompatible change; consumers refuse
+documents whose major name does not match.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Schema tag for a single benchmark result document.
+BENCH_SCHEMA = "repro.bench/1"
+#: Schema tag for the committed multi-benchmark baseline.
+BASELINE_SCHEMA = "repro.bench-baseline/1"
+
+#: Scalar kinds the regression checker knows how to compare.
+#: ``rate``  -- higher is better (Gbps, Mpps, ...)
+#: ``time``  -- lower is better (wall-clock seconds)
+#: ``count`` -- informational; compared for drift, never failed on
+SCALAR_KINDS = ("rate", "time", "count")
+
+_REQUIRED_TOP = {
+    "schema": str,
+    "name": str,
+    "created_unix": (int, float),
+    "wall_time_sec": (int, float),
+    "status": str,
+    "tests": list,
+    "scalars": dict,
+    "metrics": dict,
+}
+
+_REQUIRED_TEST = {"name": str, "status": str}
+
+_STATUSES = ("passed", "failed", "error", "skipped")
+
+
+def validate_bench(doc) -> List[str]:
+    """Structural check of one BENCH document; returns problems found."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    for key, types in _REQUIRED_TOP.items():
+        if key not in doc:
+            errors.append("missing required key %r" % key)
+        elif not isinstance(doc[key], types):
+            errors.append("key %r has type %s, wanted %s"
+                          % (key, type(doc[key]).__name__, types))
+    if errors:
+        return errors
+    if doc["schema"] != BENCH_SCHEMA:
+        errors.append("schema is %r, this tool reads %r"
+                      % (doc["schema"], BENCH_SCHEMA))
+    if doc["status"] not in ("passed", "failed"):
+        errors.append("status must be passed|failed, got %r" % doc["status"])
+    for index, test in enumerate(doc["tests"]):
+        if not isinstance(test, dict):
+            errors.append("tests[%d] is not an object" % index)
+            continue
+        for key, types in _REQUIRED_TEST.items():
+            if not isinstance(test.get(key), types):
+                errors.append("tests[%d].%s missing or mistyped"
+                              % (index, key))
+        if test.get("status") not in _STATUSES:
+            errors.append("tests[%d].status %r not in %s"
+                          % (index, test.get("status"), _STATUSES))
+    for name, entry in doc["scalars"].items():
+        if not isinstance(entry, dict):
+            errors.append("scalars[%r] is not an object" % name)
+            continue
+        if not isinstance(entry.get("value"), (int, float)) \
+                or isinstance(entry.get("value"), bool):
+            errors.append("scalars[%r].value is not numeric" % name)
+        if entry.get("kind") not in SCALAR_KINDS:
+            errors.append("scalars[%r].kind %r not in %s"
+                          % (name, entry.get("kind"), SCALAR_KINDS))
+    metrics = doc["metrics"]
+    for section in ("counters", "histograms", "timelines"):
+        if section in metrics and not isinstance(metrics[section], dict):
+            errors.append("metrics.%s is not an object" % section)
+    return errors
+
+
+def validate_baseline(doc) -> List[str]:
+    """Structural check of the committed baseline file."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["baseline is not a JSON object"]
+    if doc.get("schema") != BASELINE_SCHEMA:
+        errors.append("baseline schema is %r, this tool reads %r"
+                      % (doc.get("schema"), BASELINE_SCHEMA))
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        return errors + ["baseline has no 'benchmarks' object"]
+    for name, entry in benchmarks.items():
+        if not isinstance(entry, dict) \
+                or not isinstance(entry.get("scalars"), dict):
+            errors.append("baseline benchmark %r has no scalars" % name)
+            continue
+        for metric, cell in entry["scalars"].items():
+            if not isinstance(cell, dict) \
+                    or not isinstance(cell.get("value"), (int, float)) \
+                    or cell.get("kind") not in SCALAR_KINDS:
+                errors.append("baseline %s.%s is malformed"
+                              % (name, metric))
+    return errors

@@ -40,13 +40,24 @@ class PeriodicTask:
 
 
 class Simulator:
-    """A discrete-event simulator with a monotonically advancing clock."""
+    """A discrete-event simulator with a monotonically advancing clock.
 
-    def __init__(self):
+    ``metrics`` (or the active :mod:`repro.obs` registry, when enabled)
+    receives a ``sim_events`` timeline of executed events -- the event-
+    rate trajectory bottleneck reports bin everything else against.  The
+    hook is resolved once at construction so an un-instrumented run pays
+    a single ``is None`` check per event.
+    """
+
+    def __init__(self, metrics=None):
+        from ..obs.metrics import active_registry
         self._heap = []
         self._seq = itertools.count()
         self.now = 0.0
         self.events_run = 0
+        registry = metrics if metrics is not None else active_registry()
+        self._obs_events = (registry.timeline("sim_events")
+                            if registry.enabled else None)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -104,6 +115,8 @@ class Simulator:
             self.now = event.time
             event.callback()
             self.events_run += 1
+            if self._obs_events is not None:
+                self._obs_events.record(self.now)
             return True
         return False
 

@@ -1,0 +1,185 @@
+"""Tests for the benchmark runner, BENCH schema, and regression gate."""
+
+import copy
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.obs import compare, make_baseline, run_benchmark, write_bench_json
+from repro.obs.benchrun import QUICK_BENCHMARKS, discover, normalize
+from repro.obs.schema import BASELINE_SCHEMA, BENCH_SCHEMA, validate_bench
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+# One cheap, fully-analytic scenario reused across tests.
+BENCH_NAME = "fig6_queues"
+
+
+@pytest.fixture(scope="module")
+def bench_doc():
+    return run_benchmark(BENCH_NAME)
+
+
+class TestNaming:
+    def test_normalize_accepts_all_spellings(self):
+        assert normalize("bench_fig6_queues") == "fig6_queues"
+        assert normalize("fig6_queues") == "fig6_queues"
+        assert normalize("bench_fig6_queues.py") == "fig6_queues"
+
+    def test_discover_finds_the_quick_subset(self):
+        names = discover()
+        for name in QUICK_BENCHMARKS:
+            assert name in names
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_benchmark("no_such_scenario")
+
+
+class TestRunBenchmark:
+    def test_document_is_schema_valid(self, bench_doc):
+        assert validate_bench(bench_doc) == []
+        assert bench_doc["schema"] == BENCH_SCHEMA
+        assert bench_doc["name"] == BENCH_NAME
+        assert bench_doc["status"] == "passed"
+
+    def test_rate_scalars_present(self, bench_doc):
+        kinds = {cell["kind"] for cell in bench_doc["scalars"].values()}
+        assert "rate" in kinds and "time" in kinds
+
+    def test_written_file_round_trips(self, bench_doc, tmp_path):
+        path = write_bench_json(bench_doc, tmp_path)
+        assert path.name == "BENCH_%s.json" % BENCH_NAME
+        assert validate_bench(json.loads(path.read_text())) == []
+
+    def test_non_time_scalars_reproducible(self, bench_doc):
+        """Seeded scenarios must emit identical rates run-to-run."""
+        again = run_benchmark(BENCH_NAME)
+        stable = {k: v for k, v in bench_doc["scalars"].items()
+                  if v["kind"] != "time"}
+        stable_again = {k: v for k, v in again["scalars"].items()
+                        if v["kind"] != "time"}
+        assert stable == stable_again
+
+
+class TestCompare:
+    def test_classify_directions(self):
+        assert compare.classify("rate", 10.0, 8.0, 0.10)[1] == "regressed"
+        assert compare.classify("rate", 10.0, 12.0, 0.10)[1] == "improved"
+        assert compare.classify("time", 1.0, 1.5, 0.10)[1] == "regressed"
+        assert compare.classify("time", 1.0, 0.5, 0.10)[1] == "improved"
+        assert compare.classify("rate", 10.0, 9.5, 0.10)[1] == "ok"
+
+    def test_make_baseline_and_compare(self, bench_doc):
+        baseline = make_baseline([bench_doc], created_unix=0.0)
+        assert baseline["schema"] == BASELINE_SCHEMA
+        deltas = compare.compare_docs(baseline, bench_doc)
+        assert deltas and all(d.status == "ok" for d in deltas)
+
+    def test_degraded_rates_regress(self, bench_doc):
+        baseline = make_baseline([bench_doc], created_unix=0.0)
+        degraded = copy.deepcopy(bench_doc)
+        for cell in degraded["scalars"].values():
+            if cell["kind"] == "rate":
+                cell["value"] *= 0.85
+        deltas = compare.compare_docs(baseline, degraded)
+        assert any(d.regressed for d in deltas)
+
+    def test_missing_benchmark_raises(self, bench_doc):
+        baseline = make_baseline([bench_doc], created_unix=0.0)
+        other = copy.deepcopy(bench_doc)
+        other["name"] = "something_else"
+        with pytest.raises(ValueError):
+            compare.compare_docs(baseline, other)
+
+    def test_invalid_document_raises(self, bench_doc):
+        baseline = make_baseline([bench_doc], created_unix=0.0)
+        with pytest.raises(ValueError):
+            compare.compare_docs(baseline, {"schema": "bogus"})
+
+
+class TestCliObs:
+    def test_run_and_report(self, tmp_path, capsys):
+        assert main(["obs", "run", BENCH_NAME,
+                     "--out-dir", str(tmp_path)]) == 0
+        bench = tmp_path / ("BENCH_%s.json" % BENCH_NAME)
+        assert validate_bench(json.loads(bench.read_text())) == []
+        assert main(["obs", "report", str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert BENCH_NAME in out and "passed" in out
+
+    def test_diff_exit_codes(self, tmp_path, capsys):
+        assert main(["obs", "run", BENCH_NAME, "--out-dir", str(tmp_path),
+                     "--update-baseline", str(tmp_path / "base.json")]) == 0
+        bench = tmp_path / ("BENCH_%s.json" % BENCH_NAME)
+        base = tmp_path / "base.json"
+        assert main(["obs", "diff", str(base), str(bench)]) == 0
+        # Degrade every rate by 15% -> exit 1.
+        doc = json.loads(bench.read_text())
+        for cell in doc["scalars"].values():
+            if cell["kind"] == "rate":
+                cell["value"] *= 0.85
+        degraded = tmp_path / "degraded.json"
+        degraded.write_text(json.dumps(doc))
+        assert main(["obs", "diff", str(base), str(degraded)]) == 1
+        # Garbage input -> exit 2.
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["obs", "diff", str(base), str(bad)]) == 2
+        capsys.readouterr()
+
+    def test_run_rejects_unknown_name(self, tmp_path, capsys):
+        assert main(["obs", "run", "nope",
+                     "--out-dir", str(tmp_path)]) == 2
+        capsys.readouterr()
+
+
+class TestRegressionScript:
+    SCRIPT = str(REPO_ROOT / "scripts" / "check_bench_regression.py")
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, self.SCRIPT, *argv],
+            capture_output=True, text=True)
+
+    def test_clean_results_pass(self, bench_doc, tmp_path):
+        write_bench_json(bench_doc, tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            make_baseline([bench_doc], created_unix=0.0)))
+        proc = self._run("--baseline", str(baseline),
+                         "--results-dir", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+
+    def test_15pct_degraded_fails(self, bench_doc, tmp_path):
+        """The ISSUE's acceptance check: a 15%-degraded copy must fail."""
+        degraded = copy.deepcopy(bench_doc)
+        for cell in degraded["scalars"].values():
+            if cell["kind"] == "rate":
+                cell["value"] *= 0.85
+        write_bench_json(degraded, tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            make_baseline([bench_doc], created_unix=0.0)))
+        proc = self._run("--baseline", str(baseline),
+                         "--results-dir", str(tmp_path))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+
+    def test_missing_baseline_is_exit_2(self, tmp_path):
+        proc = self._run("--baseline", str(tmp_path / "absent.json"),
+                         "--results-dir", str(tmp_path))
+        assert proc.returncode == 2
+
+    def test_committed_baseline_matches_fresh_run(self):
+        """The baseline in git must describe what the code produces
+        today -- otherwise the CI gate drifts into noise."""
+        committed = compare.load_json(
+            str(REPO_ROOT / "benchmarks" / "results" / "baseline.json"))
+        doc = run_benchmark(BENCH_NAME)
+        deltas = compare.compare_docs(committed, doc)
+        assert deltas, "baseline has no rate scalars for %s" % BENCH_NAME
+        assert all(not d.regressed for d in deltas)

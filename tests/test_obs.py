@@ -1,0 +1,237 @@
+"""Tests for the metrics registry, timelines, tracing, and DES hooks."""
+
+import pytest
+
+from repro.click.simrun import TimedPipelineRun
+from repro.core import RouteBricksRouter
+from repro.hw import nehalem_server
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PathTrace,
+    TraceSampler,
+    active_registry,
+    set_active_registry,
+    use_registry,
+)
+from repro.obs.trace import TRACE_ANNOTATION
+from repro.net.packet import Packet
+from repro.workloads import FlowGenerator
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter("packets")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_counter_rejects_negative(self):
+        c = Counter("packets")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_labels_are_independent_series(self):
+        c = Counter("drops")
+        c.inc(3, node=0, reason="overflow")
+        c.inc(4, node=1, reason="overflow")
+        c.inc(1, reason="overflow", node=0)  # order must not matter
+        assert c.value(node=0, reason="overflow") == 4
+        assert c.value(node=1, reason="overflow") == 4
+        assert c.total() == 8
+
+    def test_gauge_set_and_add(self):
+        g = Gauge("occupancy")
+        g.set(10, queue="rx0")
+        g.add(-3, queue="rx0")
+        assert g.value(queue="rx0") == 7
+
+
+class TestHistogram:
+    def test_quantiles_are_exact_on_small_sets(self):
+        h = Histogram("latency")
+        for v in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+            h.observe(v)
+        assert h.quantile(0.5) == 5
+        assert h.quantile(0.99) == 10
+        summary = h.summary()
+        assert summary["count"] == 10
+        assert summary["mean"] == pytest.approx(5.5)
+
+    def test_labeled_series(self):
+        h = Histogram("hops")
+        h.observe(1, role="output")
+        h.observe(9, role="intermediate")
+        assert h.count(role="output") == 1
+        assert h.count(role="intermediate") == 1
+        assert set(h.series()) == {"{role=intermediate}", "{role=output}"}
+
+
+class TestTimeline:
+    def test_binning(self):
+        reg = MetricsRegistry(timeline_bin_sec=1.0)
+        t = reg.timeline("events")
+        t.record(0.1)
+        t.record(0.9)
+        t.record(1.5, value=4.0)
+        rows = t.bins()
+        assert rows == [(0.0, 2.0, 2, 1.0), (1.0, 4.0, 1, 4.0)]
+
+    def test_coarsening_bounds_exported_bins(self):
+        reg = MetricsRegistry(timeline_bin_sec=0.001)
+        t = reg.timeline("events")
+        for i in range(1000):
+            t.record(i * 0.001)
+        series = t.series(max_bins=100)
+        (_, data), = series.items()
+        assert len(data["bins"]) <= 100
+        total = sum(b[2] for b in data["bins"])
+        assert total == 1000  # coarsening must not lose observations
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.timeline("x")
+
+
+class TestTraceSampler:
+    def test_one_in_n_deterministic(self):
+        sampler = TraceSampler(sample_every=4)
+        packets = [Packet(64) for _ in range(12)]
+        traced = [p for p in packets
+                  if sampler.maybe_start(p, time=0.0) is not None]
+        # First packet, then every 4th: 3 of 12.
+        assert len(traced) == 3
+        assert sampler.seen == 12
+        assert sampler.sampled == 3
+
+    def test_trace_records_hops_in_order(self):
+        trace = PathTrace(packet_id=7, started=0.0)
+        trace.hop("node0.input", 0.0)
+        trace.hop("node2.intermediate", 1e-5)
+        trace.hop("node1.egress", 2e-5)
+        assert trace.sites() == ["node0.input", "node2.intermediate",
+                                 "node1.egress"]
+        assert trace.duration() == pytest.approx(2e-5)
+
+    def test_max_traces_caps_retention_not_counting(self):
+        sampler = TraceSampler(sample_every=1, max_traces=5)
+        for i in range(20):
+            sampler.maybe_start(Packet(64), time=float(i))
+        assert len(sampler.traces) == 5
+        assert sampler.sampled == 20
+
+
+class TestActiveRegistry:
+    def test_disabled_by_default(self):
+        assert active_registry().enabled is False
+
+    def test_use_registry_restores(self):
+        before = active_registry()
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            assert active_registry() is reg
+        assert active_registry() is before
+
+    def test_set_returns_previous(self):
+        before = active_registry()
+        reg = MetricsRegistry()
+        old = set_active_registry(reg)
+        try:
+            assert old is before
+        finally:
+            set_active_registry(before)
+
+
+def _cluster_events(count=200, seed=7):
+    gen = FlowGenerator(num_flows=12, packets_per_flow=count // 12 + 1,
+                        packet_bytes=740, seed=seed)
+    events = []
+    for index, (time, packet) in enumerate(gen.timed_packets()):
+        if index >= count:
+            break
+        ingress = index % 4
+        egress = (ingress + 1 + index % 3) % 4
+        events.append((time, ingress, egress, packet))
+    events.sort(key=lambda e: e[0])
+    return events
+
+
+class TestDesInstrumentation:
+    def test_pipeline_run_charges_cores_and_buses(self):
+        reg = MetricsRegistry()
+        run = TimedPipelineRun(nehalem_server(), "forwarding",
+                               packet_bytes=64, metrics=reg)
+        run.run(offered_bps=2e9, duration_sec=2e-4)
+        cycles = reg.get("core_cycles")
+        assert cycles is not None and cycles.total() > 0
+        assert any("kind=busy" in key for key in cycles.series())
+        assert reg.get("bus_bytes").total() > 0
+        assert reg.get("sim_events").totals()["count"] > 0
+        assert reg.get("rxq_occupancy") is not None
+
+    def test_disabled_registry_adds_no_metrics(self):
+        run = TimedPipelineRun(nehalem_server(), "forwarding",
+                               packet_bytes=64)
+        run.run(offered_bps=2e9, duration_sec=2e-4)
+        assert active_registry().names() == []
+
+    def test_identical_forwarding_with_and_without_metrics(self):
+        """Observation must not perturb the simulated system."""
+        def forwarded(metrics):
+            run = TimedPipelineRun(nehalem_server(), "forwarding",
+                                   packet_bytes=64, metrics=metrics)
+            return run.run(offered_bps=2e9,
+                           duration_sec=2e-4).forwarded_packets
+        assert forwarded(None) == forwarded(MetricsRegistry())
+
+    def test_cluster_hop_latency_and_traces(self):
+        reg = MetricsRegistry(trace_sample_every=8)
+        router = RouteBricksRouter(seed=1)
+        router.simulate(_cluster_events(), metrics=reg)
+        hops = reg.get("vlb_hop_latency_usec")
+        assert hops is not None
+        assert reg.get("vlb_path_hops").count() > 0
+        snap = reg.snapshot()
+        assert snap["traces"]["sampled"] > 0
+        # Sampled, delivered paths start at an input and end at egress.
+        for path in snap["traces"]["paths"]:
+            sites = [hop["site"] for hop in path["hops"]]
+            assert sites[0].endswith(".input")
+            assert sites[-1].endswith(".egress")
+
+    def test_cluster_observer_records_link_timelines(self):
+        reg = MetricsRegistry()
+        router = RouteBricksRouter(seed=2)
+        router.simulate(_cluster_events(), until=5e-3, metrics=reg)
+        occupancy = reg.get("link_occupancy")
+        assert occupancy is not None and len(occupancy) > 0
+        assert reg.get("link_bytes").totals is not None
+
+    def test_trace_annotation_travels_on_packet(self):
+        sampler = TraceSampler(sample_every=1)
+        p = Packet(64)
+        trace = sampler.maybe_start(p, time=0.0)
+        assert p.annotations[TRACE_ANNOTATION] is trace
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1, a=1)
+        reg.histogram("h").observe(2.0)
+        reg.timeline("t").record(0.0)
+        json.dumps(reg.snapshot())  # must not raise
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.tracer.maybe_start(Packet(64), time=0.0)
+        reg.reset()
+        assert reg.names() == []
+        assert reg.tracer.seen == 0
