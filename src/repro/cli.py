@@ -10,7 +10,8 @@ Commands
 ``rb4``          the 4-node cluster's operating points
 ``faults``       graceful degradation: analytic curve or a scripted DES run
 ``trace``        generate or inspect pcap traces of the synthetic workloads
-``obs``          run instrumented benchmarks, report/diff BENCH_*.json
+``obs``          run instrumented benchmarks, report/diff BENCH_*.json,
+                 and ``explain`` a pipeline's binding resource
 """
 
 from __future__ import annotations
@@ -376,6 +377,53 @@ def _cmd_obs(args) -> int:
                   % (len(docs), args.update_baseline))
         return 1 if failed else 0
 
+    if args.action == "explain":
+        if len(args.names) != 1:
+            print("usage: repro obs explain <preset|BENCH_<name>.json> "
+                  "[--size N] [--duration-ms MS]", file=sys.stderr)
+            return 2
+        target = args.names[0]
+        if target.endswith(".json"):
+            # A finished benchmark document: print its explain section.
+            try:
+                doc = compare.load_json(target)
+            except (OSError, json.JSONDecodeError) as error:
+                print("error: %s" % error, file=sys.stderr)
+                return 2
+            section = doc.get("explain")
+            if not section:
+                print("error: %s carries no explain section (re-run "
+                      "'repro obs run %s')" % (target, doc.get("name", "?")),
+                      file=sys.stderr)
+                return 2
+            print("explain: benchmark %s" % doc.get("name", "?"))
+            for row in section.get("top_frames") or []:
+                print("  %-28s %12.0f  (%4.1f%%)"
+                      % (row["element"], row["self"],
+                         row["fraction"] * 100))
+            latency = section.get("latency")
+            if latency:
+                print("  latency (mean %.2f usec over %d traces):"
+                      % (latency["mean_end_to_end_usec"],
+                         latency["packets"]))
+                for stage, usec_value in latency["stages_usec"].items():
+                    if usec_value:
+                        print("    %-16s %8.3f usec  (%5.1f%%)"
+                              % (stage, usec_value,
+                                 latency["stage_fractions"][stage] * 100))
+            return 0
+        from .errors import ConfigurationError
+        from .obs.explain import explain_pipeline, format_explain
+        try:
+            report = explain_pipeline(
+                target, packet_bytes=args.size,
+                duration_sec=args.duration_ms * 1e-3)
+        except ConfigurationError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+        print(format_explain(report))
+        return 0 if report.agreement else 1
+
     if args.action == "report":
         from .obs.schema import validate_bench
 
@@ -527,10 +575,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("obs",
                        help="instrumented benchmark runs and regression "
                             "diffs (BENCH_*.json)")
-    p.add_argument("action", choices=["run", "report", "diff"])
+    p.add_argument("action", choices=["run", "report", "diff", "explain"])
     p.add_argument("names", nargs="*",
                    help="run: benchmark names (bench_ prefix optional); "
-                        "report: one BENCH json; diff: baseline + current")
+                        "report: one BENCH json; diff: baseline + current; "
+                        "explain: a preset pipeline or a BENCH json")
     p.add_argument("--quick", action="store_true",
                    help="run: the fast CI subset")
     p.add_argument("--all", action="store_true",
@@ -547,6 +596,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--times", action="store_true",
                    help="diff: also gate wall-time scalars (noisy on "
                         "shared machines)")
+    p.add_argument("--size", type=int, default=64,
+                   help="explain: packet size in bytes (default 64)")
+    p.add_argument("--duration-ms", type=float, default=1.0,
+                   help="explain: DES run length in milliseconds")
     p.set_defaults(func=_cmd_obs)
     return parser
 

@@ -29,6 +29,7 @@ from ..costs import DEFAULT_COST_MODEL, CostModel
 from ..errors import ConfigurationError
 from ..hw.server import Server
 from ..obs.metrics import active_registry
+from ..obs.profile import first_poll_after
 from ..obs.trace import TRACE_ANNOTATION
 from ..simnet.engine import Simulator
 from ..workloads.synthetic import FixedSizeWorkload
@@ -47,11 +48,14 @@ class _RunObs:
     Both runners charge the same names: ``core_cycles``/``core_polls``
     split busy vs empty (the Sec. 5.3 idle-polling attribution),
     ``bus_bytes`` per shared bus, ``rxq_occupancy``/``rxq_drops``
-    timelines per RX ring.
+    timelines per RX ring.  When the registry carries a
+    :class:`~repro.obs.profile.SpanProfiler` the runners additionally
+    charge per-element cycles under ``core<N>`` frames (cycle units).
     """
 
     def __init__(self, registry):
         self.registry = registry
+        self.profiler = registry.profiler
         self.core_cycles = registry.counter(
             "core_cycles", help="cycles charged per core, busy vs empty")
         self.core_polls = registry.counter(
@@ -208,11 +212,17 @@ class TimedForwardingRun:
 
         def make_poll_loop(core, queue, queue_label):
             seen_drops = [queue.dropped]
+            poll_times: List[float] = []  # obs-only: poll-wait split
+            core_frame = "core%d" % core.core_id
+            app_frame = getattr(self.app, "name", "app")
+            prof = obs.profiler if obs is not None else None
 
             def poll():
                 if sim.now >= duration_sec:
                     return
                 state["polls"] += 1
+                if obs is not None:
+                    poll_times.append(sim.now)
                 batch = queue.pop_batch(self.kp)
                 if batch:
                     cycles = len(batch) * self.cycles_per_packet
@@ -222,6 +232,9 @@ class TimedForwardingRun:
                     cycles = self.cost_model.empty_poll_cycles
                 core.charge(cycles)
                 if obs is not None:
+                    if prof is not None:
+                        prof.charge(cycles, core_frame,
+                                    app_frame if batch else "empty_poll")
                     obs.charge_core(core.core_id, cycles, bool(batch))
                     obs.rxq_occupancy.record(sim.now, len(queue),
                                              queue=queue_label)
@@ -236,11 +249,16 @@ class TimedForwardingRun:
                                        n * per_packet_vec.io_bytes,
                                        n * per_packet_vec.pcie_bytes,
                                        n * per_packet_vec.qpi_bytes)
+                        t_done = sim.now + cycles / clock_hz
                         for packet in batch:
                             trace = packet.annotations.get(TRACE_ANNOTATION)
                             if trace is not None:
+                                trace.hop("poll", first_poll_after(
+                                    poll_times, trace.started, sim.now))
+                                trace.hop("pickup", sim.now)
                                 trace.hop("core%d" % core.core_id, sim.now,
                                           note="forwarded")
+                                trace.hop("service_done", t_done)
                 sim.schedule(cycles / clock_hz, poll)
             return poll
 
@@ -409,6 +427,10 @@ class TimedPipelineRun:
         for queue in rx_queues:
             while queue.pop() is not None:
                 pass
+        # Per-RX-ring poll timestamps (obs-only) feed the traced packets'
+        # poll-wait vs ring-wait split at drain time.
+        poll_times = ({id(queue): [] for queue in rx_queues}
+                      if obs is not None else None)
 
         def arrival(index=[0]):
             try:
@@ -419,8 +441,13 @@ class TimedPipelineRun:
             index[0] += 1
             if obs is not None:
                 trace = obs.tracer.maybe_start(packet, sim.now, "arrival")
-                if not queue.push(packet) and trace is not None:
-                    trace.hop("dropped", sim.now)
+                if trace is not None:
+                    if not queue.push(packet):
+                        trace.hop("dropped", sim.now)
+                    else:
+                        packet.annotations["rxq_id"] = id(queue)
+                else:
+                    queue.push(packet)
             else:
                 queue.push(packet)
             sim.schedule(interarrival, arrival)
@@ -432,11 +459,16 @@ class TimedPipelineRun:
                         for e in replica.elements}
             seen_drops = {id(d): d.queue.dropped for d in replica.polls}
             core = replica.core
+            core_frame = "core%d" % core.core_id
+            prof = obs.profiler if obs is not None else None
 
             def poll():
                 if sim.now >= duration_sec:
                     return
                 state["polls"] += 1
+                if obs is not None:
+                    for device in replica.polls:
+                        poll_times[id(device.queue)].append(sim.now)
                 moved = 0
                 for device in replica.polls:
                     moved += device.run_task()
@@ -447,6 +479,7 @@ class TimedPipelineRun:
                             break
                         downstream.receive(packet)
                         moved += 1
+                traced_drained = []
                 for device in replica.tos:
                     drained = device.drain()
                     state["forwarded"] += len(drained)
@@ -454,7 +487,14 @@ class TimedPipelineRun:
                         for packet in drained:
                             trace = packet.annotations.get(TRACE_ANNOTATION)
                             if trace is not None:
+                                times = poll_times.get(
+                                    packet.annotations.pop("rxq_id", None))
+                                if times:
+                                    trace.hop("poll", first_poll_after(
+                                        times, trace.started, sim.now))
+                                trace.hop("pickup", sim.now)
                                 trace.hop(device.name, sim.now, note="tx")
+                                traced_drained.append(trace)
                 if moved:
                     cycles = 0.0
                     mem = io = pcie = qpi = 0.0
@@ -474,6 +514,9 @@ class TimedPipelineRun:
                                 io += vec.io_bytes
                                 pcie += vec.pcie_bytes
                                 qpi += vec.qpi_bytes
+                                if prof is not None and vec.cpu_cycles:
+                                    prof.charge(vec.cpu_cycles, core_frame,
+                                                element.name)
                         counters[id(element)] = (element.packets_in,
                                                  element.bytes_in)
                     if obs is not None:
@@ -481,9 +524,15 @@ class TimedPipelineRun:
                 else:
                     state["empty_polls"] += 1
                     cycles = self.cost_model.empty_poll_cycles
+                    if prof is not None:
+                        prof.charge(cycles, core_frame, "empty_poll")
                 replica.core.charge(cycles)
                 if obs is not None:
                     obs.charge_core(core.core_id, cycles, bool(moved))
+                    if traced_drained:
+                        t_done = sim.now + cycles / clock_hz
+                        for trace in traced_drained:
+                            trace.hop("service_done", t_done)
                     for device in replica.polls:
                         obs.rxq_occupancy.record(sim.now, len(device.queue),
                                                  queue=device.name)

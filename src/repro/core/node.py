@@ -73,6 +73,10 @@ class ClusterNode:
             self._drop_counter = registry.counter(
                 "node_drops", help="packets lost, by node and cause")
             self._tracer = registry.tracer
+            # Span profiler (None unless the registry carries one):
+            # cluster frames are charged in *microseconds* under
+            # ``node<N>`` so the collapsed stacks read as wall-clock.
+            self._profiler = registry.profiler
 
     # -- wiring -------------------------------------------------------------
 
@@ -89,6 +93,18 @@ class ClusterNode:
         self.dropped += amount
         if self.obs is not None and amount:
             self._drop_counter.inc(amount, node=self.node_id, reason=reason)
+
+    def _prof_charge(self, packet: Packet, frame: str) -> None:
+        """Charge the time since the packet's last profiled point to this
+        node's ``frame`` (microseconds), and advance the point."""
+        if self._profiler is None:
+            return
+        last = packet.annotations.get("prof_t")
+        now = self.sim.now
+        if last is not None and now > last:
+            self._profiler.charge(to_usec(now - last),
+                                  "node%d" % self.node_id, frame)
+        packet.annotations["prof_t"] = now
 
     # -- failure --------------------------------------------------------------
 
@@ -175,6 +191,7 @@ class ClusterNode:
         packet.path = [self.node_id]
         if self.obs is not None:
             packet.annotations["hop_t"] = self.sim.now
+            packet.annotations["prof_t"] = self.sim.now
             self._tracer.maybe_start(packet, self.sim.now,
                                      "node%d.input" % self.node_id)
         encode_output_node(packet, egress_node, max_nodes=max(
@@ -194,6 +211,14 @@ class ClusterNode:
             # The server died while the packet was being processed.
             self._count_drop("died_holding")
             return
+        if self.obs is not None:
+            # Path length 1 means we are still the input node; anything
+            # longer means the intermediate role is transmitting.
+            role = "input" if len(packet.path) == 1 else "intermediate"
+            self._prof_charge(packet, role)
+            trace = packet.annotations.get(TRACE_ANNOTATION)
+            if trace is not None:
+                trace.hop("node%d.tx" % self.node_id, self.sim.now)
         if next_hop in self.failed_hops:
             # A dead cable: anything committed to it is lost.
             self._count_drop("cut_cable")
@@ -235,6 +260,7 @@ class ClusterNode:
         if last is not None:
             self._hop_latency.observe(to_usec(now - last), role=role)
         packet.annotations["hop_t"] = now
+        self._prof_charge(packet, "link")
         trace = packet.annotations.get(TRACE_ANNOTATION)
         if trace is not None:
             trace.hop("node%d.%s" % (self.node_id, role), now)
@@ -243,7 +269,13 @@ class ClusterNode:
         if not self.alive:
             self._count_drop("dead_egress")
             return
+        if self.obs is not None:
+            self._prof_charge(packet, "output")
         if self.egress_link is not None:
+            if self.obs is not None:
+                trace = packet.annotations.get(TRACE_ANNOTATION)
+                if trace is not None:
+                    trace.hop("node%d.egress_q" % self.node_id, self.sim.now)
             if not self.egress_link.send(packet):
                 self._count_drop("egress_overflow")
             return
@@ -256,6 +288,8 @@ class ClusterNode:
         self.egress_packets += 1
         packet.departure_time = self.sim.now
         if self.obs is not None:
+            # Non-zero only when an external line serialized the packet.
+            self._prof_charge(packet, "egress_line")
             self._path_hops.observe(len(packet.path))
             trace = packet.annotations.get(TRACE_ANNOTATION)
             if trace is not None:

@@ -24,6 +24,7 @@ from ..errors import ConfigurationError
 from ..hw.presets import NEHALEM
 from ..hw.server import ServerSpec
 from ..net.packet import Packet
+from ..obs.trace import TRACE_ANNOTATION
 from ..perfmodel.loads import DEFAULT_CONFIG, ServerConfig
 from ..results import RunResult
 from ..simnet.engine import Simulator
@@ -313,6 +314,8 @@ class RouteBricksRouter:
                 fib_push_latency_sec=fib_push_latency_sec)
         report = SimulationReport()
         meter = ReorderingMeter()
+        from ..obs.metrics import active_registry
+        registry = metrics if metrics is not None else active_registry()
 
         def on_egress(packet: Packet, now: float) -> None:
             report.delivered_packets += 1
@@ -330,9 +333,26 @@ class RouteBricksRouter:
             from .resequencer import Resequencer
             resequencers = []
 
-            def make_callback():
+            def make_callback(node):
+                def deliver(packet: Packet) -> None:
+                    if registry.enabled:
+                        # Attribute the hold time before crediting egress:
+                        # the reorder buffer is a latency stage of its own.
+                        profiler = registry.profiler
+                        if profiler is not None:
+                            last = packet.annotations.get("prof_t")
+                            if last is not None and sim.now > last:
+                                profiler.charge(
+                                    to_usec(sim.now - last),
+                                    "node%d" % node.node_id, "reorder")
+                            packet.annotations["prof_t"] = sim.now
+                        trace = packet.annotations.get(TRACE_ANNOTATION)
+                        if trace is not None:
+                            trace.hop("reorder.release", sim.now)
+                    on_egress(packet, sim.now)
+
                 reseq = Resequencer(
-                    deliver=lambda p: on_egress(p, sim.now),
+                    deliver=deliver,
                     timeout_sec=self.resequence_timeout_sec)
                 resequencers.append(reseq)
 
@@ -343,7 +363,7 @@ class RouteBricksRouter:
                 return callback
 
             for node in nodes:
-                node.egress_callback = make_callback()
+                node.egress_callback = make_callback(node)
 
             def expire_all():
                 for reseq in resequencers:
@@ -366,8 +386,6 @@ class RouteBricksRouter:
             sim.schedule_at(time, lambda n=nodes[ingress], p=packet,
                             e=egress: n.ingress(p, e))
         observer = None
-        from ..obs.metrics import active_registry
-        registry = metrics if metrics is not None else active_registry()
         if registry.enabled:
             from ..obs.hooks import ClusterObserver, observer_interval
             observer = ClusterObserver(

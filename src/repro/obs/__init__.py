@@ -11,6 +11,14 @@ Three layers:
   per-hop VLB latency out of any run.
 * :mod:`repro.obs.trace` -- 1-in-N sampled :class:`PathTrace` logs of
   individual packets' element/hop journeys.
+* :mod:`repro.obs.profile` / :mod:`repro.obs.explain` -- the attribution
+  layer: a deterministic :class:`SpanProfiler` (hierarchical cycle/
+  latency spans with collapsed-stack output), per-packet latency
+  decomposition with a conservation check (:func:`decompose_trace`),
+  and :func:`explain_pipeline`, which joins the profile with the
+  analytic solver to name the binding resource and cross-check the
+  DES-observed bottleneck against the model's prediction
+  (``python -m repro obs explain``).
 * :mod:`repro.obs.benchrun` -- runs ``benchmarks/bench_*.py`` scenarios
   outside pytest and emits schema-versioned ``BENCH_<name>.json``
   artifacts (:mod:`repro.obs.schema`), which
@@ -42,6 +50,12 @@ from .benchrun import (
     write_bench_json,
 )
 from .compare import Delta, compare_docs, make_baseline
+from .explain import (
+    ExplainReport,
+    explain_from_registry,
+    explain_pipeline,
+    format_explain,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -52,6 +66,14 @@ from .metrics import (
     set_active_registry,
     use_registry,
 )
+from .profile import (
+    STAGES,
+    LatencyBreakdown,
+    SpanProfiler,
+    aggregate_breakdowns,
+    decompose_trace,
+    trace_delivered,
+)
 from .trace import PathTrace, TraceSampler, trace_of
 
 from .schema import BASELINE_SCHEMA, BENCH_SCHEMA, validate_bench
@@ -61,19 +83,29 @@ __all__ = [
     "BENCH_SCHEMA",
     "Counter",
     "Delta",
+    "ExplainReport",
     "Gauge",
     "Histogram",
+    "LatencyBreakdown",
     "MetricsRegistry",
     "PathTrace",
     "QUICK_BENCHMARKS",
+    "STAGES",
+    "SpanProfiler",
     "Timeline",
     "TraceSampler",
     "active_registry",
+    "aggregate_breakdowns",
     "compare_docs",
+    "decompose_trace",
     "discover",
+    "explain_from_registry",
+    "explain_pipeline",
+    "format_explain",
     "make_baseline",
     "run_benchmark",
     "set_active_registry",
+    "trace_delivered",
     "trace_of",
     "use_registry",
     "validate_bench",

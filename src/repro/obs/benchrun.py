@@ -37,6 +37,7 @@ import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .explain import explain_from_registry
 from .metrics import MetricsRegistry, use_registry
 from .schema import BENCH_SCHEMA, validate_bench
 
@@ -51,12 +52,15 @@ DEFAULT_SEED = 20090917  # RouteBricks' SOSP camera-ready era
 
 #: Quick subset used by CI's bench job -- the scenarios that finish in
 #: seconds and still cover the analytic model, the DES, and the cluster.
+#: ``timed_server`` is the one that exercises the DES hot paths, so its
+#: run also yields a ``PROFILE_*.collapsed`` span-profile sidecar.
 QUICK_BENCHMARKS = (
     "table1_batching",
     "fig6_queues",
     "table2_bounds",
     "fig7_aggregate",
     "fig3_topology",
+    "timed_server",
 )
 
 #: Numeric dict keys harvested as rate scalars.
@@ -247,7 +251,8 @@ def run_benchmark(name: str, seed: int = DEFAULT_SEED,
     tests = [(n, fn) for n, fn in sorted(vars(module).items())
              if n.startswith("test_") and inspect.isfunction(fn)]
     registry = MetricsRegistry(enabled=True,
-                               trace_sample_every=trace_sample_every)
+                               trace_sample_every=trace_sample_every,
+                               profile=True)
     artifacts: Dict[str, str] = {}
     observations: Dict[str, Any] = {}
     test_entries: List[dict] = []
@@ -326,6 +331,7 @@ def run_benchmark(name: str, seed: int = DEFAULT_SEED,
                    for key, values in observations.items()
                    if key.startswith("label:")},
         "metrics": registry.snapshot(),
+        "explain": explain_from_registry(registry),
         "artifacts": sorted(artifacts),
     }
     problems = validate_bench(doc)
@@ -350,6 +356,12 @@ def write_bench_json(doc: dict, out_dir: pathlib.Path) -> pathlib.Path:
         json.dump(doc, handle, indent=2, sort_keys=True,
                   default=_json_default)
         handle.write("\n")
+    # Sidecar: the run's collapsed-stack profile, ready for flamegraph
+    # tooling (and CI artifact upload).  Skipped when nothing was charged.
+    collapsed = (doc.get("metrics", {}).get("profile") or {}).get("collapsed")
+    if collapsed:
+        profile_path = out_dir / ("PROFILE_%s.collapsed" % doc["name"])
+        profile_path.write_text("\n".join(collapsed) + "\n")
     return path
 
 

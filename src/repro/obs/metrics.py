@@ -286,16 +286,23 @@ class MetricsRegistry:
     timelines created through the registry, and ``trace_sample_every``
     configures the registry's packet-path :class:`~repro.obs.trace
     .TraceSampler` (1-in-N sampling; see :mod:`repro.obs.trace`).
+    ``profile=True`` additionally attaches a :class:`~repro.obs.profile
+    .SpanProfiler` the DES hot paths charge hierarchical cycle/latency
+    spans to (``registry.profiler`` is None otherwise, so profiling has
+    its own on/off switch on top of ``enabled``).
     """
 
     def __init__(self, enabled: bool = True,
                  timeline_bin_sec: float = 1e-4,
-                 trace_sample_every: int = 64):
+                 trace_sample_every: int = 64,
+                 profile: bool = False):
+        from .profile import SpanProfiler
         from .trace import TraceSampler
         self.enabled = enabled
         self.timeline_bin_sec = timeline_bin_sec
         self._metrics: Dict[str, Metric] = {}
         self.tracer = TraceSampler(sample_every=trace_sample_every)
+        self.profiler = SpanProfiler() if profile else None
 
     # -- metric construction (get-or-create, type-checked) ----------------
 
@@ -343,6 +350,8 @@ class MetricsRegistry:
         """Drop every recorded series (configuration survives)."""
         self._metrics.clear()
         self.tracer.reset()
+        if self.profiler is not None:
+            self.profiler.reset()
 
     def snapshot(self, max_bins: int = 100,
                  max_traces: int = 32) -> dict:
@@ -370,6 +379,8 @@ class MetricsRegistry:
                 "paths": [t.to_dict()
                           for t in self.tracer.traces[:max_traces]],
             },
+            "profile": (self.profiler.to_dict()
+                        if self.profiler is not None else None),
         }
 
 

@@ -82,6 +82,16 @@ def validate_bench(doc) -> List[str]:
     for section in ("counters", "histograms", "timelines"):
         if section in metrics and not isinstance(metrics[section], dict):
             errors.append("metrics.%s is not an object" % section)
+    # Optional explain section (profiler + latency decomposition join).
+    if "explain" in doc:
+        explain = doc["explain"]
+        if not isinstance(explain, dict):
+            errors.append("explain is not an object")
+        else:
+            if not isinstance(explain.get("latency"), (dict, type(None))):
+                errors.append("explain.latency is not an object or null")
+            if not isinstance(explain.get("top_frames", []), list):
+                errors.append("explain.top_frames is not a list")
     return errors
 
 

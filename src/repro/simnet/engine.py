@@ -44,9 +44,12 @@ class Simulator:
 
     ``metrics`` (or the active :mod:`repro.obs` registry, when enabled)
     receives a ``sim_events`` timeline of executed events -- the event-
-    rate trajectory bottleneck reports bin everything else against.  The
-    hook is resolved once at construction so an un-instrumented run pays
-    a single ``is None`` check per event.
+    rate trajectory bottleneck reports bin everything else against.
+    When the registry carries a :class:`~repro.obs.profile.SpanProfiler`
+    the engine also resets its span stack at each event boundary, so
+    frames pushed by one callback can never leak into the next.  Both
+    hooks are resolved once at construction so an un-instrumented run
+    pays a single ``is None`` check per event.
     """
 
     def __init__(self, metrics=None):
@@ -58,6 +61,7 @@ class Simulator:
         registry = metrics if metrics is not None else active_registry()
         self._obs_events = (registry.timeline("sim_events")
                             if registry.enabled else None)
+        self._profiler = registry.profiler if registry.enabled else None
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -113,6 +117,8 @@ class Simulator:
             if event.cancelled:
                 continue
             self.now = event.time
+            if self._profiler is not None:
+                self._profiler.begin_event()
             event.callback()
             self.events_run += 1
             if self._obs_events is not None:

@@ -1,0 +1,229 @@
+"""Tests for the span profiler and the latency decomposition."""
+
+import pytest
+
+from repro.click.simrun import TimedForwardingRun, TimedPipelineRun
+from repro.core import RouteBricksRouter
+from repro.hw import nehalem_server
+from repro.obs import (
+    STAGES,
+    LatencyBreakdown,
+    MetricsRegistry,
+    SpanProfiler,
+    aggregate_breakdowns,
+    decompose_trace,
+    trace_delivered,
+)
+from repro.obs.profile import first_poll_after
+from repro.workloads.matrices import uniform_matrix
+from repro.workloads.spec import WorkloadSpec
+
+
+class TestSpanProfiler:
+    def test_charge_accumulates_self_values(self):
+        prof = SpanProfiler()
+        prof.charge(100, "core0", "src")
+        prof.charge(50, "core0", "src")
+        prof.charge(25, "core0", "dst")
+        assert prof.self_value("core0", "src") == 150
+        assert prof.self_value("core0", "dst") == 25
+
+    def test_total_is_inclusive_over_prefix(self):
+        prof = SpanProfiler()
+        prof.charge(100, "core0", "src")
+        prof.charge(25, "core0", "dst")
+        prof.charge(7, "core1", "src")
+        assert prof.total_value("core0") == 125
+        assert prof.total_value() == 132
+
+    def test_span_stack_scopes_charges(self):
+        prof = SpanProfiler()
+        with prof.span("core0"):
+            prof.charge(10, "lookup")
+        assert prof.self_value("core0", "lookup") == 10
+
+    def test_begin_event_clears_leaked_frames(self):
+        prof = SpanProfiler()
+        prof.push("core0")  # a callback that died mid-span
+        prof.begin_event()
+        prof.charge(5, "src")
+        assert prof.self_value("src") == 5
+
+    def test_zero_charges_are_dropped_negative_rejected(self):
+        prof = SpanProfiler()
+        prof.charge(0, "core0")
+        assert len(prof) == 0
+        with pytest.raises(ValueError):
+            prof.charge(-1, "core0")
+
+    def test_collapsed_stack_format(self):
+        prof = SpanProfiler()
+        prof.charge(100.4, "core0", "src")
+        prof.charge(25, "core0", "dst")
+        assert prof.collapsed() == "run;core0;dst 25\nrun;core0;src 100"
+
+    def test_leaf_totals_skip(self):
+        prof = SpanProfiler()
+        prof.charge(10, "core0", "src")
+        prof.charge(99, "core0", "empty_poll")
+        prof.charge(5, "core1", "src")
+        assert prof.leaf_totals(skip=("empty_poll",)) == {"src": 15}
+
+    def test_table_rows_carry_self_and_total(self):
+        prof = SpanProfiler()
+        prof.charge(10, "core0", "src")
+        rows = {row["frames"]: row for row in prof.table()}
+        assert rows["run"]["total"] == 10
+        assert rows["run"]["self"] == 0
+        assert rows["run;core0;src"]["self"] == 10
+
+
+class TestFirstPollAfter:
+    def test_picks_first_poll_strictly_after_arrival(self):
+        assert first_poll_after([1.0, 2.0, 3.0], 1.0, 3.0) == 2.0
+
+    def test_clamps_to_pickup(self):
+        assert first_poll_after([1.0, 5.0], 2.0, 3.0) == 3.0
+
+    def test_empty_falls_back_to_pickup(self):
+        assert first_poll_after([], 1.0, 3.0) == 3.0
+
+
+class TestDecomposition:
+    def test_stages_sum_exactly_by_construction(self):
+        breakdown = LatencyBreakdown(
+            packet_id=1, end_to_end_sec=1e-6,
+            stages={stage: (1e-6 / len(STAGES)) for stage in STAGES})
+        assert breakdown.stage_sum() == pytest.approx(1e-6)
+        assert not breakdown.conserved()  # "other" share is too large
+
+    def test_decompose_classifies_server_hops(self):
+        trace = {"packet_id": 7, "hops": [
+            {"site": "arrival", "time": 0.0},
+            {"site": "poll", "time": 1e-6},
+            {"site": "pickup", "time": 3e-6},
+            {"site": "service_done", "time": 4e-6},
+        ]}
+        b = decompose_trace(trace)
+        assert b.end_to_end_sec == pytest.approx(4e-6)
+        assert b.stages["poll_wait"] == pytest.approx(1e-6)
+        assert b.stages["rx_ring_wait"] == pytest.approx(2e-6)
+        assert b.stages["element_service"] == pytest.approx(1e-6)
+        assert b.conserved(rel_tol=0.01)
+        assert trace_delivered(trace)
+
+    def test_undelivered_trace_detected(self):
+        trace = {"packet_id": 7, "hops": [
+            {"site": "arrival", "time": 0.0},
+            {"site": "dropped", "time": 1e-6},
+        ]}
+        assert not trace_delivered(trace)
+
+
+def _forwarding_run(profile=True, duration=0.5e-3, seed=0):
+    registry = MetricsRegistry(enabled=True, profile=profile,
+                               trace_sample_every=16)
+    run = TimedPipelineRun(nehalem_server(), "forwarding",
+                           packet_bytes=64, metrics=registry)
+    report = run.run(5e9, duration_sec=duration, seed=seed)
+    return registry, report
+
+
+class TestConservation:
+    """Satellite: stage sums equal end-to-end latency within 1 %."""
+
+    @pytest.mark.parametrize("preset", ["forwarding", "ipsec"])
+    def test_pipeline_run_conserves_latency(self, preset):
+        registry = MetricsRegistry(enabled=True, profile=True,
+                                   trace_sample_every=16)
+        run = TimedPipelineRun(nehalem_server(), preset,
+                               packet_bytes=64, metrics=registry)
+        run.run(3e9, duration_sec=0.5e-3, seed=0)
+        delivered = [t for t in registry.tracer.traces if trace_delivered(t)]
+        assert len(delivered) >= 10
+        for trace in delivered:
+            breakdown = decompose_trace(trace)
+            assert breakdown.conserved(rel_tol=0.01), \
+                "stage sum diverges on %r" % trace.sites()
+
+    def test_cluster_run_conserves_latency(self):
+        registry = MetricsRegistry(enabled=True, profile=True,
+                                   trace_sample_every=8)
+        router = RouteBricksRouter(num_nodes=4, resequence=True, seed=3)
+        workload = WorkloadSpec.fixed(1024, seed=1).with_matrix(
+            uniform_matrix(4, 4e9))
+        router.simulate(workload, until=2e-3, rate_limited_egress=True,
+                        metrics=registry)
+        delivered = [t for t in registry.tracer.traces if trace_delivered(t)]
+        assert len(delivered) >= 10
+        aggregate = aggregate_breakdowns(registry.tracer.traces)
+        assert aggregate["max_residual_fraction"] <= 0.01
+        # The cluster decomposition names transit stages too.
+        assert aggregate["stage_fractions"]["vlb_hop_transit"] > 0
+        assert aggregate["stage_fractions"]["element_service"] > 0
+
+    def test_forwarding_runner_conserves_latency(self):
+        registry = MetricsRegistry(enabled=True, profile=True,
+                                   trace_sample_every=16)
+        run = TimedForwardingRun(nehalem_server(), packet_bytes=64,
+                                 metrics=registry)
+        run.run(3e9, duration_sec=0.5e-3, seed=0)
+        delivered = [t for t in registry.tracer.traces if trace_delivered(t)]
+        assert len(delivered) >= 10
+        for trace in delivered:
+            assert decompose_trace(trace).conserved(rel_tol=0.01)
+
+
+class TestDeterminism:
+    """Satellite: identical collapsed-stack output across seeded runs."""
+
+    def test_profiler_output_is_deterministic(self):
+        first, _ = _forwarding_run(seed=42)
+        second, _ = _forwarding_run(seed=42)
+        collapsed_a = first.profiler.collapsed()
+        collapsed_b = second.profiler.collapsed()
+        assert collapsed_a  # non-trivial profile
+        assert collapsed_a == collapsed_b
+
+    def test_cluster_profiler_is_deterministic(self):
+        outputs = []
+        for _ in range(2):
+            registry = MetricsRegistry(enabled=True, profile=True)
+            router = RouteBricksRouter(num_nodes=4, seed=7)
+            workload = WorkloadSpec.fixed(740, seed=2).with_matrix(
+                uniform_matrix(4, 3e9))
+            router.simulate(workload, until=1e-3, metrics=registry)
+            outputs.append(registry.profiler.collapsed())
+        assert outputs[0]
+        assert outputs[0] == outputs[1]
+
+
+class TestOverheadGuard:
+    """Satellite: profiling off must not change simulated behavior."""
+
+    def test_profiling_does_not_perturb_run(self):
+        plain = MetricsRegistry(enabled=True, profile=False)
+        run = TimedPipelineRun(nehalem_server(), "forwarding",
+                               packet_bytes=64, metrics=plain)
+        baseline = run.run(5e9, duration_sec=0.5e-3, seed=0)
+        baseline_events = plain.get("sim_events").totals()["count"]
+
+        profiled, report = _forwarding_run(profile=True)
+        assert report.forwarded_packets == baseline.forwarded_packets
+        assert report.total_polls == baseline.total_polls
+        assert report.empty_polls == baseline.empty_polls
+        events = profiled.get("sim_events").totals()["count"]
+        assert events == baseline_events
+        assert plain.profiler is None
+        assert len(profiled.profiler) > 0
+
+    def test_disabled_registry_has_no_profiler(self):
+        assert MetricsRegistry(enabled=False).profiler is None
+
+    def test_snapshot_carries_profile_section(self):
+        registry, _ = _forwarding_run()
+        snapshot = registry.snapshot()
+        profile = snapshot["profile"]
+        assert profile["paths"] == len(registry.profiler)
+        assert profile["self_total"] > 0
+        assert profile["collapsed"]
