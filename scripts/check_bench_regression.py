@@ -68,11 +68,14 @@ def main(argv=None) -> int:
     regressed = False
     problems = False
     all_deltas = []
+    perf_deltas = []
     for path in paths:
         try:
             doc = compare.load_json(str(path))
             deltas = compare.compare_docs(baseline, doc,
                                           tolerance=tolerance)
+            perf_deltas.extend(compare.compare_docs(
+                baseline, doc, tolerance=tolerance, kinds=("perf",)))
         except (OSError, json.JSONDecodeError, ValueError) as error:
             print("error: %s: %s" % (path, error), file=sys.stderr)
             problems = True
@@ -85,6 +88,13 @@ def main(argv=None) -> int:
         regressed = regressed or any(d.regressed for d in deltas)
 
     print(compare.summarize(all_deltas))
+    if perf_deltas:
+        # Wall-clock engine speed vs the baseline machine's.  Reported
+        # only -- "perf" deltas classify as "info" and never gate, so a
+        # slow CI runner cannot fail the build.
+        print("\nwall-clock perf (informational, never gates):")
+        for delta in perf_deltas:
+            print("  " + delta.describe())
     if problems:
         return 2
     if regressed:

@@ -67,27 +67,35 @@ class _RunObs:
         self.rxq_drops = registry.timeline(
             "rxq_drops", help="RX-ring drops per time bin")
         self.tracer = registry.tracer
+        # Per-bus incrementers, bound once per run (see Counter.bind).
+        self._inc_mem = self.bus_bytes.bind(bus="memory")
+        self._inc_io = self.bus_bytes.bind(bus="io")
+        self._inc_pcie = self.bus_bytes.bind(bus="pcie")
+        self._inc_qpi = self.bus_bytes.bind(bus="qpi")
 
     @classmethod
     def resolve(cls, metrics) -> "Optional[_RunObs]":
         registry = metrics if metrics is not None else active_registry()
         return cls(registry) if registry.enabled else None
 
-    def charge_core(self, core_id: int, cycles: float, busy: bool) -> None:
-        kind = "busy" if busy else "empty"
-        self.core_cycles.inc(cycles, core=core_id, kind=kind)
-        self.core_polls.inc(1, core=core_id, kind=kind)
+    def core_handles(self, core_id: int):
+        """Pre-bound (busy cycles, empty cycles, busy polls, empty
+        polls) incrementers for one core -- the per-poll charge path."""
+        return (self.core_cycles.bind(core=core_id, kind="busy"),
+                self.core_cycles.bind(core=core_id, kind="empty"),
+                self.core_polls.bind(core=core_id, kind="busy"),
+                self.core_polls.bind(core=core_id, kind="empty"))
 
     def charge_bus(self, mem: float, io: float, pcie: float,
                    qpi: float) -> None:
         if mem:
-            self.bus_bytes.inc(mem, bus="memory")
+            self._inc_mem(mem)
         if io:
-            self.bus_bytes.inc(io, bus="io")
+            self._inc_io(io)
         if pcie:
-            self.bus_bytes.inc(pcie, bus="pcie")
+            self._inc_pcie(pcie)
         if qpi:
-            self.bus_bytes.inc(qpi, bus="qpi")
+            self._inc_qpi(qpi)
 
 
 @dataclass
@@ -206,42 +214,65 @@ class TimedForwardingRun:
                     trace.hop("dropped", sim.now)
             else:
                 queue.push(packet)
-            sim.schedule(interarrival, arrival)
+            schedule_timer(interarrival, arrival)
 
         clock_hz = self.server.spec.clock_hz
+        # Poll loops and arrivals are homogeneous high-rate timers: ride
+        # the engine's bucketed event wheel instead of the main heap.
+        schedule_timer = sim.schedule_timer
 
         def make_poll_loop(core, queue, queue_label):
             seen_drops = [queue.dropped]
             poll_times: List[float] = []  # obs-only: poll-wait split
             core_frame = "core%d" % core.core_id
             app_frame = getattr(self.app, "name", "app")
-            prof = obs.profiler if obs is not None else None
+            # Hoist every per-poll attribute lookup out of the loop.
+            kp = self.kp
+            cycles_per_packet = self.cycles_per_packet
+            empty_poll_cycles = self.cost_model.empty_poll_cycles
+            pop_batch = queue.pop_batch
+            charge = core.charge
+            if obs is not None:
+                prof = obs.profiler
+                charge_app = (prof.bind(core_frame, app_frame)
+                              if prof is not None else None)
+                charge_empty = (prof.bind(core_frame, "empty_poll")
+                                if prof is not None else None)
+                (inc_busy_cycles, inc_empty_cycles,
+                 inc_busy_polls, inc_empty_polls) = \
+                    obs.core_handles(core.core_id)
+                record_occupancy = obs.rxq_occupancy.bind(queue=queue_label)
+                record_drops = obs.rxq_drops.bind(queue=queue_label)
 
             def poll():
-                if sim.now >= duration_sec:
+                now = sim.now
+                if now >= duration_sec:
                     return
                 state["polls"] += 1
                 if obs is not None:
-                    poll_times.append(sim.now)
-                batch = queue.pop_batch(self.kp)
+                    poll_times.append(now)
+                batch = pop_batch(kp)
                 if batch:
-                    cycles = len(batch) * self.cycles_per_packet
+                    cycles = len(batch) * cycles_per_packet
                     state["forwarded"] += len(batch)
                 else:
                     state["empty_polls"] += 1
-                    cycles = self.cost_model.empty_poll_cycles
-                core.charge(cycles)
+                    cycles = empty_poll_cycles
+                charge(cycles)
                 if obs is not None:
-                    if prof is not None:
-                        prof.charge(cycles, core_frame,
-                                    app_frame if batch else "empty_poll")
-                    obs.charge_core(core.core_id, cycles, bool(batch))
-                    obs.rxq_occupancy.record(sim.now, len(queue),
-                                             queue=queue_label)
+                    if batch:
+                        if charge_app is not None:
+                            charge_app(cycles)
+                        inc_busy_cycles(cycles)
+                        inc_busy_polls()
+                    else:
+                        if charge_empty is not None:
+                            charge_empty(cycles)
+                        inc_empty_cycles(cycles)
+                        inc_empty_polls()
+                    record_occupancy(now, len(queue))
                     if queue.dropped > seen_drops[0]:
-                        obs.rxq_drops.record(
-                            sim.now, queue.dropped - seen_drops[0],
-                            queue=queue_label)
+                        record_drops(now, queue.dropped - seen_drops[0])
                         seen_drops[0] = queue.dropped
                     if batch:
                         n = len(batch)
@@ -249,17 +280,17 @@ class TimedForwardingRun:
                                        n * per_packet_vec.io_bytes,
                                        n * per_packet_vec.pcie_bytes,
                                        n * per_packet_vec.qpi_bytes)
-                        t_done = sim.now + cycles / clock_hz
+                        t_done = now + cycles / clock_hz
                         for packet in batch:
                             trace = packet.annotations.get(TRACE_ANNOTATION)
                             if trace is not None:
                                 trace.hop("poll", first_poll_after(
-                                    poll_times, trace.started, sim.now))
-                                trace.hop("pickup", sim.now)
-                                trace.hop("core%d" % core.core_id, sim.now,
+                                    poll_times, trace.started, now))
+                                trace.hop("pickup", now)
+                                trace.hop("core%d" % core.core_id, now,
                                           note="forwarded")
                                 trace.hop("service_done", t_done)
-                sim.schedule(cycles / clock_hz, poll)
+                schedule_timer(cycles / clock_hz, poll)
             return poll
 
         sim.schedule(0.0, arrival)
@@ -450,9 +481,12 @@ class TimedPipelineRun:
                     queue.push(packet)
             else:
                 queue.push(packet)
-            sim.schedule(interarrival, arrival)
+            schedule_timer(interarrival, arrival)
 
         clock_hz = self.server.spec.clock_hz
+        # Same wheel discipline as TimedForwardingRun: polls and
+        # arrivals are homogeneous high-rate timers.
+        schedule_timer = sim.schedule_timer
 
         def make_poll_loop(replica):
             counters = {id(e): (e.packets_in, e.bytes_in)
@@ -460,7 +494,24 @@ class TimedPipelineRun:
             seen_drops = {id(d): d.queue.dropped for d in replica.polls}
             core = replica.core
             core_frame = "core%d" % core.core_id
-            prof = obs.profiler if obs is not None else None
+            empty_poll_cycles = self.cost_model.empty_poll_cycles
+            charge = core.charge
+            if obs is not None:
+                prof = obs.profiler
+                charge_element = ({id(e): prof.bind(core_frame, e.name)
+                                   for e in replica.elements}
+                                  if prof is not None else None)
+                charge_empty = (prof.bind(core_frame, "empty_poll")
+                                if prof is not None else None)
+                (inc_busy_cycles, inc_empty_cycles,
+                 inc_busy_polls, inc_empty_polls) = \
+                    obs.core_handles(core.core_id)
+                record_occupancy = {
+                    id(d): obs.rxq_occupancy.bind(queue=d.name)
+                    for d in replica.polls}
+                record_drops = {
+                    id(d): obs.rxq_drops.bind(queue=d.name)
+                    for d in replica.polls}
 
             def poll():
                 if sim.now >= duration_sec:
@@ -514,35 +565,38 @@ class TimedPipelineRun:
                                 io += vec.io_bytes
                                 pcie += vec.pcie_bytes
                                 qpi += vec.qpi_bytes
-                                if prof is not None and vec.cpu_cycles:
-                                    prof.charge(vec.cpu_cycles, core_frame,
-                                                element.name)
+                                if charge_element is not None:
+                                    charge_element[id(element)](
+                                        vec.cpu_cycles)
                         counters[id(element)] = (element.packets_in,
                                                  element.bytes_in)
                     if obs is not None:
                         obs.charge_bus(mem, io, pcie, qpi)
+                        inc_busy_cycles(cycles)
+                        inc_busy_polls()
                 else:
                     state["empty_polls"] += 1
-                    cycles = self.cost_model.empty_poll_cycles
-                    if prof is not None:
-                        prof.charge(cycles, core_frame, "empty_poll")
-                replica.core.charge(cycles)
+                    cycles = empty_poll_cycles
+                    if obs is not None:
+                        if charge_empty is not None:
+                            charge_empty(cycles)
+                        inc_empty_cycles(cycles)
+                        inc_empty_polls()
+                charge(cycles)
                 if obs is not None:
-                    obs.charge_core(core.core_id, cycles, bool(moved))
                     if traced_drained:
                         t_done = sim.now + cycles / clock_hz
                         for trace in traced_drained:
                             trace.hop("service_done", t_done)
                     for device in replica.polls:
-                        obs.rxq_occupancy.record(sim.now, len(device.queue),
-                                                 queue=device.name)
+                        record_occupancy[id(device)](sim.now,
+                                                     len(device.queue))
                         dropped = device.queue.dropped
                         if dropped > seen_drops[id(device)]:
-                            obs.rxq_drops.record(
-                                sim.now, dropped - seen_drops[id(device)],
-                                queue=device.name)
+                            record_drops[id(device)](
+                                sim.now, dropped - seen_drops[id(device)])
                             seen_drops[id(device)] = dropped
-                sim.schedule(cycles / clock_hz, poll)
+                schedule_timer(cycles / clock_hz, poll)
             return poll
 
         sim.schedule(0.0, arrival)

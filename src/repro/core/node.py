@@ -77,6 +77,19 @@ class ClusterNode:
             # cluster frames are charged in *microseconds* under
             # ``node<N>`` so the collapsed stacks read as wall-clock.
             self._profiler = registry.profiler
+            # Pre-bound per-role/per-frame charge closures: the label
+            # sets are fixed per node, so resolve them once instead of
+            # per packet hop.
+            self._observe_role = {
+                role: self._hop_latency.bind(role=role)
+                for role in ("input", "intermediate", "output")}
+            self._observe_path_hops = self._path_hops.bind()
+            node_frame = "node%d" % node_id
+            self._prof_frames = (
+                {frame: self._profiler.bind(node_frame, frame)
+                 for frame in ("input", "intermediate", "link",
+                               "output", "egress_line")}
+                if self._profiler is not None else None)
 
     # -- wiring -------------------------------------------------------------
 
@@ -102,8 +115,7 @@ class ClusterNode:
         last = packet.annotations.get("prof_t")
         now = self.sim.now
         if last is not None and now > last:
-            self._profiler.charge(to_usec(now - last),
-                                  "node%d" % self.node_id, frame)
+            self._prof_frames[frame](to_usec(now - last))
         packet.annotations["prof_t"] = now
 
     # -- failure --------------------------------------------------------------
@@ -199,12 +211,13 @@ class ClusterNode:
         delay = usec(server_latency_usec("input"))
         if egress_node == self.node_id:
             # Arrived at its own output node: no internal traversal.
-            self.sim.schedule(delay + usec(server_latency_usec("output")),
-                              lambda p=packet: self._egress(p))
+            self.sim.schedule_timer(
+                delay + usec(server_latency_usec("output")),
+                lambda p=packet: self._egress(p))
             return
         first_hop = self.choose_path(packet, egress_node, self.sim.now)
-        self.sim.schedule(delay,
-                          lambda p=packet, h=first_hop: self._send(p, h))
+        self.sim.schedule_timer(
+            delay, lambda p=packet, h=first_hop: self._send(p, h))
 
     def _send(self, packet: Packet, next_hop: int) -> None:
         if not self.alive:
@@ -244,13 +257,13 @@ class ClusterNode:
                 else "intermediate")
         if output == self.node_id:
             delay = usec(server_latency_usec("output"))
-            self.sim.schedule(delay, lambda p=packet: self._egress(p))
+            self.sim.schedule_timer(delay, lambda p=packet: self._egress(p))
             return
         # Intermediate role: queue-to-queue move, steer by MAC.
         self.intermediate_packets += 1
         delay = usec(server_latency_usec("intermediate"))
-        self.sim.schedule(delay,
-                          lambda p=packet, h=output: self._send(p, h))
+        self.sim.schedule_timer(
+            delay, lambda p=packet, h=output: self._send(p, h))
 
     def _observe_hop(self, packet: Packet, role: str) -> None:
         """Charge one internal hop's latency to the role that received
@@ -258,7 +271,7 @@ class ClusterNode:
         now = self.sim.now
         last = packet.annotations.get("hop_t")
         if last is not None:
-            self._hop_latency.observe(to_usec(now - last), role=role)
+            self._observe_role[role](to_usec(now - last))
         packet.annotations["hop_t"] = now
         self._prof_charge(packet, "link")
         trace = packet.annotations.get(TRACE_ANNOTATION)
@@ -290,7 +303,7 @@ class ClusterNode:
         if self.obs is not None:
             # Non-zero only when an external line serialized the packet.
             self._prof_charge(packet, "egress_line")
-            self._path_hops.observe(len(packet.path))
+            self._observe_path_hops(len(packet.path))
             trace = packet.annotations.get(TRACE_ANNOTATION)
             if trace is not None:
                 trace.hop("node%d.egress" % self.node_id, self.sim.now)

@@ -383,8 +383,8 @@ class RouteBricksRouter:
             if not 0 <= egress < self.num_nodes:
                 raise ConfigurationError("bad egress node %r" % egress)
             report.offered_packets += 1
-            sim.schedule_at(time, lambda n=nodes[ingress], p=packet,
-                            e=egress: n.ingress(p, e))
+            sim.schedule_timer_at(time, lambda n=nodes[ingress], p=packet,
+                                  e=egress: n.ingress(p, e))
         observer = None
         if registry.enabled:
             from ..obs.hooks import ClusterObserver, observer_interval

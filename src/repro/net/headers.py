@@ -27,13 +27,19 @@ IPV4_MIN_HEADER_BYTES = 20
 UDP_HEADER_BYTES = 8
 TCP_MIN_HEADER_BYTES = 20
 
+#: Shared all-zero MAC used as the header default.  MACAddress is
+#: immutable and header fields are only ever *reassigned* (never mutated
+#: in place), so one instance can back every fresh header -- packet
+#: construction is a per-packet hot path in the traffic generators.
+_ZERO_MAC = MACAddress(0)
+
 
 @dataclass
 class EthernetHeader:
     """An Ethernet II header (no 802.1Q tag)."""
 
-    dst: MACAddress = field(default_factory=lambda: MACAddress(0))
-    src: MACAddress = field(default_factory=lambda: MACAddress(0))
+    dst: MACAddress = field(default_factory=lambda: _ZERO_MAC)
+    src: MACAddress = field(default_factory=lambda: _ZERO_MAC)
     ethertype: int = ETHERTYPE_IPV4
 
     def pack(self) -> bytes:

@@ -83,7 +83,13 @@ class Packet:
             dst_port: int = 80, ttl: int = 64,
             payload: Optional[bytes] = None) -> "Packet":
         """Build a UDP-in-IPv4-in-Ethernet packet of total frame ``length``."""
-        ip = IPv4Header(src=IPv4Address(src), dst=IPv4Address(dst), ttl=ttl,
+        # IPv4Address is immutable: callers that already hold one (the
+        # workload generators' pre-built flow tables) share it as-is.
+        if not isinstance(src, IPv4Address):
+            src = IPv4Address(src)
+        if not isinstance(dst, IPv4Address):
+            dst = IPv4Address(dst)
+        ip = IPv4Header(src=src, dst=dst, ttl=ttl,
                         proto=PROTO_UDP,
                         total_length=max(length - ETHERNET_HEADER_BYTES,
                                          IPV4_MIN_HEADER_BYTES))

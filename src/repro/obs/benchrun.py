@@ -311,11 +311,21 @@ def run_benchmark(name: str, seed: int = DEFAULT_SEED,
                 scalars["%s.%s.min" % (test_name, key)] = {
                     "value": min(values), "kind": "rate"}
 
-    for key, value in _registry_counts(registry).items():
+    counts = _registry_counts(registry)
+    for key, value in counts.items():
         scalars["run.%s" % key] = {"value": value, "kind": "count"}
 
     wall = time.perf_counter() - wall_start
     scalars["run.wall_time_sec"] = {"value": wall, "kind": "time"}
+    # Engine speed: real seconds inside Simulator.run (charged by the
+    # engine to this counter) against events executed.  kind="perf" so
+    # the regression checker reports drift without ever gating on it.
+    wall_counter = registry.get("engine_wall_seconds")
+    wall_clock_s = wall_counter.total() if wall_counter is not None else 0.0
+    events_per_sec = (counts.get("sim_events", 0.0) / wall_clock_s
+                      if wall_clock_s > 0 else 0.0)
+    scalars["run.wall_clock_s"] = {"value": wall_clock_s, "kind": "perf"}
+    scalars["run.events_per_sec"] = {"value": events_per_sec, "kind": "perf"}
     status = "passed" if all(t["status"] in ("passed", "skipped")
                              for t in test_entries) else "failed"
     doc = {
@@ -324,6 +334,8 @@ def run_benchmark(name: str, seed: int = DEFAULT_SEED,
         "created_unix": started,
         "seed": seed,
         "wall_time_sec": wall,
+        "wall_clock_s": wall_clock_s,
+        "events_per_sec": events_per_sec,
         "status": status,
         "tests": test_entries,
         "scalars": scalars,

@@ -68,6 +68,11 @@ def classify(kind: str, baseline: float, current: float,
             return 0.0, "ok"
         return None, "new"
     change = (current - baseline) / abs(baseline)
+    if kind == "perf":
+        # Wall-clock engine speed: purely informational.  Machines and
+        # CI runners differ too much for a portable threshold, so perf
+        # deltas are surfaced but can never regress a gate.
+        return change, "info"
     if kind == "rate" and change < -tolerance:
         return change, "regressed"
     if kind == "time" and change > tolerance:
@@ -174,7 +179,8 @@ def load_json(path: str) -> dict:
 
 def summarize(deltas: Sequence[Delta]) -> str:
     """Human-readable digest, regressions first."""
-    order = {"regressed": 0, "missing": 1, "new": 2, "improved": 3, "ok": 4}
+    order = {"regressed": 0, "missing": 1, "new": 2, "improved": 3,
+             "info": 4, "ok": 5}
     lines = [d.describe()
              for d in sorted(deltas, key=lambda d: (order[d.status],
                                                     d.benchmark, d.metric))]

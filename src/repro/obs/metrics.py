@@ -33,6 +33,9 @@ def _label_key(labels: Dict[str, object]) -> LabelKey:
     """Canonical, hashable form of a label set."""
     if not labels:
         return ()
+    if len(labels) == 1:
+        ((k, v),) = labels.items()
+        return ((k, str(v)),)
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
@@ -70,6 +73,24 @@ class Counter(Metric):
             raise ValueError("counters only increase")
         key = _label_key(labels)
         self._series[key] = self._series.get(key, 0.0) + amount
+
+    def bind(self, **labels):
+        """A pre-resolved incrementer for one label set.
+
+        Hot paths call the returned closure instead of :meth:`inc`, so
+        the label canonicalization (dict build + sort + str) happens
+        once at bind time rather than per charge.  The series itself is
+        still created lazily on first increment, so binding alone does
+        not change snapshots.
+        """
+        key = _label_key(labels)
+        series = self._series
+        get = series.get
+
+        def inc(amount: float = 1.0) -> None:
+            series[key] = get(key, 0.0) + amount
+
+        return inc
 
     def value(self, **labels) -> float:
         return self._series.get(_label_key(labels), 0.0)
@@ -159,6 +180,20 @@ class Histogram(Metric):
             series = self._series[key] = _Reservoir()
         series.observe(value)
 
+    def bind(self, **labels):
+        """A pre-resolved observer for one label set (see
+        :meth:`Counter.bind`)."""
+        key = _label_key(labels)
+        store = self._series
+
+        def observe(value: float) -> None:
+            series = store.get(key)
+            if series is None:
+                series = store[key] = _Reservoir()
+            series.observe(value)
+
+        return observe
+
     def count(self, **labels) -> int:
         series = self._series.get(_label_key(labels))
         return len(series.values) if series is not None else 0
@@ -227,6 +262,37 @@ class Timeline(Metric):
         if series is None:
             series = self._series[key] = _TimelineSeries()
         series.record(int(time / self.bin_sec), value)
+
+    def bind(self, **labels):
+        """A pre-resolved recorder for one label set.
+
+        The returned closure inlines the bin update (no label
+        canonicalization, no method dispatch per sample) -- the form the
+        DES engine uses for its per-event ``sim_events`` timeline.
+        Negative timestamps are rejected at :meth:`record` only; bound
+        recorders trust their callers (simulation clocks never run
+        backwards).
+        """
+        key = _label_key(labels)
+        store = self._series
+        bin_sec = self.bin_sec
+
+        def record(time: float, value: float = 1.0) -> None:
+            series = store.get(key)
+            if series is None:
+                series = store[key] = _TimelineSeries()
+            bins = series.bins
+            index = int(time / bin_sec)
+            cell = bins.get(index)
+            if cell is None:
+                bins[index] = [value, 1, value]
+            else:
+                cell[0] += value
+                cell[1] += 1
+                if value > cell[2]:
+                    cell[2] = value
+
+        return record
 
     def bins(self, **labels) -> List[Tuple[float, float, int, float]]:
         """Sorted ``(bin_start_sec, sum, count, max)`` rows for one series."""

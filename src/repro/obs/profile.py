@@ -86,6 +86,25 @@ class SpanProfiler:
         path = (self.root, *self._stack, *frames)
         self._self[path] = self._self.get(path, 0.0) + value
 
+    def bind(self, *frames: str):
+        """A pre-resolved charger for one fixed path.
+
+        The path is captured at bind time (current stack plus
+        ``frames``), so hot loops that always charge the same frames --
+        the timed runners' per-poll core/element charges -- skip the
+        tuple build and stack walk per call.  Only bind where the span
+        stack is known to be empty at charge time.
+        """
+        path = (self.root, *self._stack, *frames)
+        store = self._self
+        get = store.get
+
+        def charge(value: float) -> None:
+            if value:
+                store[path] = get(path, 0.0) + value
+
+        return charge
+
     # -- queries -----------------------------------------------------------
 
     def self_value(self, *path: str) -> float:

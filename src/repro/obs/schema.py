@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from typing import List
 
-#: Schema tag for a single benchmark result document.
-BENCH_SCHEMA = "repro.bench/1"
+#: Schema tag for a single benchmark result document.  /2 added the
+#: mandatory ``wall_clock_s`` / ``events_per_sec`` engine-speed fields
+#: and the ``perf`` scalar kind.
+BENCH_SCHEMA = "repro.bench/2"
 #: Schema tag for the committed multi-benchmark baseline.
 BASELINE_SCHEMA = "repro.bench-baseline/1"
 
@@ -21,13 +23,17 @@ BASELINE_SCHEMA = "repro.bench-baseline/1"
 #: ``rate``  -- higher is better (Gbps, Mpps, ...)
 #: ``time``  -- lower is better (wall-clock seconds)
 #: ``count`` -- informational; compared for drift, never failed on
-SCALAR_KINDS = ("rate", "time", "count")
+#: ``perf``  -- wall-clock engine speed; reported, never gated (CI
+#:              machines vary too much for a hard threshold)
+SCALAR_KINDS = ("rate", "time", "count", "perf")
 
 _REQUIRED_TOP = {
     "schema": str,
     "name": str,
     "created_unix": (int, float),
     "wall_time_sec": (int, float),
+    "wall_clock_s": (int, float),
+    "events_per_sec": (int, float),
     "status": str,
     "tests": list,
     "scalars": dict,

@@ -43,7 +43,10 @@ class Dir24_8:
         self._long_depths = []   # list of np.int8[256]
         self._free_long = []     # recycled second-level table ids
         self._values = []
-        self._value_index = {}
+        self._value_index = {}   # hashable value -> slot (dedup by equality)
+        self._id_index = {}      # id(value) -> slot for unhashable values
+        self._value_refs = []    # trie prefixes referencing each slot
+        self._free_values = []   # recycled value slots
         self._shadow = BinaryTrie()
         self._size = 0
 
@@ -53,20 +56,52 @@ class Dir24_8:
     # -- helpers -----------------------------------------------------------
 
     def _intern(self, value) -> int:
+        """Slot index for ``value``, allocating (or recycling) one if new.
+
+        Hashable values dedup by equality, unhashable ones by identity;
+        either way the slot is refcounted by the number of trie prefixes
+        that route to it, so update churn cannot leak slots.
+        """
         if value is None:
             raise RoutingError("None is not a legal route value")
         try:
             index = self._value_index.get(value)
-        except TypeError:  # unhashable values are stored without dedup
-            index = None
+            hashable = True
+        except TypeError:
+            index = self._id_index.get(id(value))
+            hashable = False
         if index is None:
-            index = len(self._values)
-            self._values.append(value)
-            try:
+            if self._free_values:
+                index = self._free_values.pop()
+                self._values[index] = value
+            else:
+                index = len(self._values)
+                self._values.append(value)
+                self._value_refs.append(0)
+            if hashable:
                 self._value_index[value] = index
-            except TypeError:
-                pass
+            else:
+                self._id_index[id(value)] = index
         return index
+
+    def _find_index(self, value) -> int:
+        """Slot of a value known to be referenced by the shadow trie."""
+        try:
+            return self._value_index[value]
+        except TypeError:
+            return self._id_index[id(value)]
+
+    def _release(self, index: int) -> None:
+        """Drop one trie reference; reclaim the slot when none remain."""
+        self._value_refs[index] -= 1
+        if self._value_refs[index] == 0:
+            value = self._values[index]
+            try:
+                del self._value_index[value]
+            except TypeError:
+                del self._id_index[id(value)]
+            self._values[index] = None
+            self._free_values.append(index)
 
     def _alloc_long(self, fill_value: int, fill_depth: int) -> int:
         if self._free_long:
@@ -82,18 +117,25 @@ class Dir24_8:
 
     def insert(self, prefix: Prefix, value) -> None:
         """Insert or replace the route for ``prefix``."""
+        old_value = self._shadow.get(prefix)
         vindex = self._intern(value)
-        was_present = self._shadow.contains(prefix)
+        self._value_refs[vindex] += 1
         self._shadow.insert(prefix, value)
-        if not was_present:
+        if old_value is None:
             self._size += 1
         if prefix.length <= 24:
             self._write_short(prefix, vindex, prefix.length)
         else:
             self._write_long(prefix, vindex, prefix.length)
+        if old_value is not None:
+            # Replacement: the displaced value loses this prefix's
+            # reference (after the table rewrite, so its slot can never
+            # be recycled while still reachable).
+            self._release(self._find_index(old_value))
 
     def remove(self, prefix: Prefix) -> None:
         """Remove the route for ``prefix``; raises if absent."""
+        old_value = self._shadow.get(prefix)
         self._shadow.remove(prefix)  # raises RoutingError if absent
         self._size -= 1
         # Find what now covers the removed range: the longest remaining
@@ -112,6 +154,10 @@ class Dir24_8:
         else:
             self._write_long(prefix, cover_index, cover_depth,
                              overwrite_depth=prefix.length)
+        # The removed prefix no longer references its value; its table
+        # entries were just rewritten to the covering route, so the slot
+        # can be reclaimed if this was the last reference.
+        self._release(self._find_index(old_value))
 
     def _write_short(self, prefix: Prefix, vindex: int, depth: int,
                      overwrite_depth: Optional[int] = None) -> None:

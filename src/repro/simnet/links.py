@@ -69,9 +69,11 @@ class Link:
         tx_time = self.serialization_time(packet)
         self.bytes_sent += packet.length
         self.packets_sent += 1
-        self.sim.schedule(tx_time, self._finish_tx)
-        self.sim.schedule(tx_time + self.propagation_sec,
-                          lambda p=packet: self.deliver(p))
+        # Wheel timers: link completions are high-rate, homogeneous, and
+        # never cancelled, so they bypass the heap entirely.
+        self.sim.schedule_timer(tx_time, self._finish_tx)
+        self.sim.schedule_timer(tx_time + self.propagation_sec,
+                                lambda p=packet: self.deliver(p))
 
     def _finish_tx(self) -> None:
         self._start_next()

@@ -67,11 +67,16 @@ class FixedSizeWorkload(PacketSource):
         """Yield ``count`` packets cycling over the flow pool."""
         if count < 0:
             raise ValueError("count must be >= 0")
+        flows = self._flows
+        flow_seq = self._flow_seq
+        pick = self._pick_flow
+        udp = Packet.udp
+        length = self.packet_bytes
         for _ in range(count):
-            index = self._pick_flow()
-            src, dst, sport, dport = self._flows[index]
-            packet = Packet.udp(src, dst, length=self.packet_bytes,
-                                src_port=sport, dst_port=dport)
-            self._flow_seq[index] += 1
-            packet.flow_seq = self._flow_seq[index]
+            index = pick()
+            src, dst, sport, dport = flows[index]
+            packet = udp(src, dst, length=length,
+                         src_port=sport, dst_port=dport)
+            flow_seq[index] += 1
+            packet.flow_seq = flow_seq[index]
             yield packet

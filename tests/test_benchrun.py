@@ -57,13 +57,35 @@ class TestRunBenchmark:
         assert validate_bench(json.loads(path.read_text())) == []
 
     def test_non_time_scalars_reproducible(self, bench_doc):
-        """Seeded scenarios must emit identical rates run-to-run."""
+        """Seeded scenarios must emit identical rates run-to-run (time
+        and perf kinds measure the host machine, not the model)."""
         again = run_benchmark(BENCH_NAME)
         stable = {k: v for k, v in bench_doc["scalars"].items()
-                  if v["kind"] != "time"}
+                  if v["kind"] not in ("time", "perf")}
         stable_again = {k: v for k, v in again["scalars"].items()
-                        if v["kind"] != "time"}
+                        if v["kind"] not in ("time", "perf")}
         assert stable == stable_again
+
+    def test_perf_scalars_present(self, bench_doc):
+        assert bench_doc["scalars"]["run.wall_clock_s"]["kind"] == "perf"
+        assert bench_doc["scalars"]["run.events_per_sec"]["kind"] == "perf"
+        # fig6_queues is fully analytic -- no DES runs, so the engine
+        # wall clock is legitimately zero; it still must be present and
+        # bounded by the whole run's wall time.
+        assert bench_doc["wall_clock_s"] >= 0.0
+        assert bench_doc["events_per_sec"] >= 0.0
+        assert bench_doc["wall_clock_s"] <= bench_doc["wall_time_sec"]
+
+    def test_perf_fields_nonzero_for_des_scenario(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+        from repro.simnet import Simulator
+        registry = MetricsRegistry(enabled=True)
+        with use_registry(registry):
+            sim = Simulator()
+            sim.schedule(1.0, lambda: None)
+            sim.run()
+        wall = registry.get("engine_wall_seconds")
+        assert wall is not None and wall.total() > 0.0
 
 
 class TestCompare:
@@ -73,6 +95,9 @@ class TestCompare:
         assert compare.classify("time", 1.0, 1.5, 0.10)[1] == "regressed"
         assert compare.classify("time", 1.0, 0.5, 0.10)[1] == "improved"
         assert compare.classify("rate", 10.0, 9.5, 0.10)[1] == "ok"
+        # Wall-clock perf never gates, however large the swing.
+        assert compare.classify("perf", 100.0, 10.0, 0.10)[1] == "info"
+        assert compare.classify("perf", 10.0, 100.0, 0.10)[1] == "info"
 
     def test_make_baseline_and_compare(self, bench_doc):
         baseline = make_baseline([bench_doc], created_unix=0.0)

@@ -1,0 +1,113 @@
+"""Golden event-order test across the engine refactor.
+
+``GOLDEN`` below is the (time, tag) execution order of a mixed
+schedule / schedule_at / schedule_every / cancel workload recorded on
+the pre-refactor engine (dataclass events, single heap).  The refactored
+heap+wheel engine must replay it exactly -- same times, same tie-break
+order, same number of executed events -- both when every timer goes
+through the heap (``use_timer=False``) and when the homogeneous poll
+chain rides the bucketed event wheel (``use_timer=True``).
+
+The heartbeat interval (0.25) and poll step (0.125) are binary-exact
+floats, so the schedule_every grid fix cannot shift any time in this
+workload: any divergence here is a real ordering regression.
+"""
+
+from repro.simnet import Simulator
+
+#: Captured on the pre-refactor engine (see module docstring).
+GOLDEN = [
+    (0.0, "poll0"), (0.125, "poll1"), (0.25, "beat"), (0.25, "poll2"),
+    (0.375, "poll3"), (0.5, "a"), (0.5, "b"), (0.5, "c"), (0.5, "beat"),
+    (0.5, "poll4"), (0.625, "killer"), (0.625, "poll5"), (0.75, "beat"),
+    (0.75, "poll6"), (0.875, "poll7"), (1.0, "nest"), (1.0, "beat"),
+    (1.0, "poll8"), (1.0625, "stop-beat"), (1.0625, "timer-child"),
+    (1.125, "nested-child"), (1.125, "poll9"), (1.25, "poll10"),
+    (1.375, "poll11"),
+]
+
+#: Total events executed, including the cancelled heartbeat's final
+#: no-op tick at 1.25 and excluding the two cancelled one-shots.
+GOLDEN_EVENTS_RUN = 25
+
+GOLDEN_FINAL_NOW = 2.0
+
+
+def drive(sim, log, use_timer=False):
+    """The recorded workload: periodic beats, a self-rescheduling poll
+    chain, tie-breaking one-shots, pre-run and mid-run cancellations,
+    and nested scheduling from inside a callback."""
+    timer = (sim.schedule_timer if use_timer
+             else (lambda d, cb: sim.schedule(d, cb)))
+
+    def note(tag):
+        log.append((sim.now, tag))
+
+    beat = sim.schedule_every(0.25, lambda: note("beat"))
+    n = [0]
+
+    def poll():
+        note("poll%d" % n[0])
+        n[0] += 1
+        if n[0] < 12:
+            timer(0.125, poll)
+
+    timer(0.0, poll)
+    sim.schedule(0.5, lambda: note("a"))
+    sim.schedule(0.5, lambda: note("b"))
+    sim.schedule_at(0.5, lambda: note("c"))
+    dead = sim.schedule(0.375, lambda: note("dead"))
+    dead.cancel()
+    victim = sim.schedule(0.75, lambda: note("victim"))
+
+    def killer():
+        note("killer")
+        victim.cancel()
+
+    sim.schedule(0.625, killer)
+
+    def nest():
+        note("nest")
+        sim.schedule(0.125, lambda: note("nested-child"))
+        timer(0.0625, lambda: note("timer-child"))
+
+    sim.schedule(1.0, nest)
+
+    def stop():
+        note("stop-beat")
+        beat.cancel()
+
+    sim.schedule(1.0625, stop)
+    return beat
+
+
+class TestGoldenOrder:
+    def test_heap_path_replays_golden(self):
+        sim = Simulator()
+        log = []
+        drive(sim, log, use_timer=False)
+        sim.run(until=2.0)
+        assert log == GOLDEN
+        assert sim.now == GOLDEN_FINAL_NOW
+        assert sim.events_run == GOLDEN_EVENTS_RUN
+
+    def test_wheel_path_replays_golden(self):
+        sim = Simulator()
+        log = []
+        drive(sim, log, use_timer=True)
+        sim.run(until=2.0)
+        assert log == GOLDEN
+        assert sim.now == GOLDEN_FINAL_NOW
+        assert sim.events_run == GOLDEN_EVENTS_RUN
+        # The poll chain really went through the wheel, not the heap.
+        assert sim._quantum == 0.125
+
+    def test_step_by_step_matches_run(self):
+        """step() must produce the same order as the batch run loops."""
+        sim = Simulator()
+        log = []
+        drive(sim, log, use_timer=True)
+        while sim.peek_time() is not None and sim.peek_time() <= 2.0:
+            assert sim.step()
+        assert log == GOLDEN
+        assert sim.events_run == GOLDEN_EVENTS_RUN

@@ -78,6 +78,52 @@ class TestRemoval:
         assert table.lookup("10.1.2.200") is None
         assert len(table) == 0
 
+    def test_unhashable_values_do_not_leak_slots(self):
+        """Insert/remove churn with unhashable (list) next hops must not
+        grow the value store: re-inserting the same object dedups by
+        identity, and removal reclaims the slot."""
+        d = Dir24_8()
+        prefix = Prefix.parse("10.0.0.0/8")
+        hop = ["nh", 1]
+        for _ in range(100):
+            d.insert(prefix, hop)  # same object: one slot, not 100
+        assert sum(v is not None for v in d._values) == 1
+        for _ in range(100):
+            d.insert(prefix, ["nh", 2])  # distinct objects: slots recycle
+        assert len(d._values) <= 2
+        d.remove(prefix)
+        assert all(v is None for v in d._values)
+        assert len(d) == 0
+
+    def test_remove_churn_bounds_value_store(self):
+        """A long insert/remove churn of distinct hashable values keeps
+        ``_values`` bounded (removed routes give their slots back)."""
+        d = Dir24_8()
+        prefix = Prefix.parse("192.168.0.0/16")
+        for i in range(500):
+            d.insert(prefix, "hop-%d" % i)
+            d.remove(prefix)
+        assert len(d._values) <= 2
+        assert d.lookup("192.168.1.1") is None
+
+    def test_replacement_releases_displaced_value(self, table):
+        before = len(table._values)
+        for i in range(50):
+            table.insert(Prefix.parse("10.1.2.0/24"), "churn-%d" % i)
+        assert len(table._values) <= before + 1
+        assert table.lookup("10.1.2.5") == "churn-49"
+
+    def test_shared_value_survives_partial_removal(self):
+        """Two prefixes routing to one (deduped) value: removing one must
+        not reclaim the slot out from under the other."""
+        d = Dir24_8()
+        d.insert(Prefix.parse("10.0.0.0/8"), "shared")
+        d.insert(Prefix.parse("20.0.0.0/8"), "shared")
+        d.remove(Prefix.parse("10.0.0.0/8"))
+        assert d.lookup("20.1.1.1") == "shared"
+        d.remove(Prefix.parse("20.0.0.0/8"))
+        assert d.lookup("20.1.1.1") is None
+
     def test_remove_16_with_sibling_24_present(self):
         # The covering lookup must not pick the longer inner prefix.
         d = Dir24_8()

@@ -75,6 +75,118 @@ class TestSimulator:
         sim.run(max_events=3)
         assert len(count) == 3
 
+    def test_max_events_still_advances_clock_to_until(self):
+        """The run() contract: ``until`` lands the clock on the horizon
+        even when the event budget stops execution first."""
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(i + 1.0, lambda i=i: fired.append(i))
+        sim.run(until=10.0, max_events=2)
+        assert fired == [0, 1]
+        assert sim.now == 10.0
+
+    def test_schedule_every_stays_on_grid(self):
+        """Tick 10^6 of a 0.1 s heartbeat must land exactly on
+        ``start + 10^6 * interval``; rescheduling by repeatedly adding
+        the interval to the clock drifts off the grid long before
+        that."""
+        sim = Simulator()
+        interval = 0.1  # not binary-exact: repeated addition drifts
+        target = 10 ** 6 + 1  # callback k (0-based grid index k-1)
+        ticks = [0]
+        landed = {}
+
+        def tick():
+            ticks[0] += 1
+            if ticks[0] == target:
+                landed["now"] = sim.now
+
+        sim.schedule_every(interval, tick)
+        sim.run(max_events=target)
+        start = interval  # first tick: now (0.0) + default start delay
+        assert landed["now"] == start + 10 ** 6 * interval
+
+    def test_events_run_counts_executions(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        cancelled = sim.schedule(2.0, lambda: None)
+        cancelled.cancel()
+        sim.schedule_timer(3.0, lambda: None)
+        sim.run()
+        assert sim.events_run == 2
+
+    def test_wall_clock_accumulates(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.wall_clock_s == 0.0
+        sim.run()
+        assert sim.wall_clock_s > 0.0
+
+    def test_cancelled_events_are_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0 + i * 1e-6, lambda: None)
+                  for i in range(1000)]
+        for event in events[100:]:
+            event.cancel()
+        # Lazy deletion must not leave 900 dead entries in the heap.
+        assert len(sim._heap) < 300
+        sim.run()
+        assert sim.events_run == 100
+
+    def test_cancel_is_idempotent_and_noop_after_execution(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+        ran = sim.schedule(2.0, lambda: None)
+        sim.run()
+        ran.cancel()  # already executed: not a cancellation
+        assert not ran.cancelled
+        # The swept cancellation was un-counted; the late cancel never
+        # counted at all, so the dead tally is back to zero.
+        assert sim._dead == 0
+
+    def test_event_handle_exposes_time_seq_callback(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        second = sim.schedule(1.0, lambda: None)
+        assert first.time == second.time == 1.0
+        assert first.seq < second.seq
+        assert first.callback is not None
+        first.cancel()
+        assert first.callback is None
+
+    def test_schedule_timer_interleaves_with_heap_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_timer(1.0, lambda: order.append("w1"))
+        sim.schedule(1.0, lambda: order.append("h1"))
+        sim.schedule_timer(1.0, lambda: order.append("w2"))
+        sim.schedule(2.0, lambda: order.append("h2"))
+        sim.schedule_timer_at(2.0, lambda: order.append("w3"))
+        sim.run()
+        assert order == ["w1", "h1", "w2", "h2", "w3"]
+        assert sim.now == 2.0
+
+    def test_schedule_timer_rejects_past(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_timer(-0.5, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_timer_at(0.5, lambda: None)
+
+    def test_peek_time_covers_wheel(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule_timer(0.5, lambda: None)
+        assert sim.peek_time() == 0.5
+        sim.run()
+        assert sim.peek_time() is None
+
 
 class TestFiniteQueue:
     def test_fifo_order(self):
