@@ -14,8 +14,11 @@ from repro.hw import nehalem_server
 
 
 def _search(kp, kn, low, high):
+    # batch=True drives the batch-native fast path.  Every rate and count
+    # below is bit-identical to the scalar loop (tests/test_batch.py
+    # proves it); only run.events_per_sec in the BENCH document moves.
     run = TimedForwardingRun(nehalem_server(num_ports=4, queues_per_port=2),
-                             kp=kp, kn=kn)
+                             kp=kp, kn=kn, batch=True)
     return run.find_loss_free_rate(low_bps=low, high_bps=high,
                                    tolerance_bps=0.15e9) / 1e9
 
@@ -44,7 +47,8 @@ def test_timed_saturation_plateau(benchmark):
 
     def run():
         sim = TimedForwardingRun(nehalem_server(num_ports=4,
-                                                queues_per_port=2))
+                                                queues_per_port=2),
+                                 batch=True)
         return sim.run(offered_bps=14e9, duration_sec=2e-3)
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -12,6 +12,7 @@ from repro import calibration as cal
 from repro.analysis import deconstruct, format_table
 from repro.hw.presets import NEHALEM, NEHALEM_NEXT_GEN
 from repro.perfmodel import max_loss_free_rate
+from repro.workloads import WorkloadSpec
 
 
 def explore(app, packet_bytes):
@@ -39,8 +40,9 @@ def main():
     print("=== packet-size sweep (minimal forwarding) ===")
     rows = []
     for size in (64, 128, 256, 512, 1024, 1500):
-        now = max_loss_free_rate(cal.MINIMAL_FORWARDING, size, spec=NEHALEM)
-        future = max_loss_free_rate(cal.MINIMAL_FORWARDING, size,
+        spec_w = WorkloadSpec.fixed(size, app=cal.MINIMAL_FORWARDING)
+        now = max_loss_free_rate(spec_w, spec=NEHALEM)
+        future = max_loss_free_rate(spec_w,
                                     spec=NEHALEM_NEXT_GEN, nic_limited=False)
         rows.append({"bytes": size,
                      "nehalem_gbps": now.rate_gbps,

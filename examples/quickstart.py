@@ -12,6 +12,7 @@ from repro import calibration as cal
 from repro.click import PollDevice, RouterGraph, Scheduler, ToDevice
 from repro.hw import nehalem_server
 from repro.perfmodel import max_loss_free_rate
+from repro.workloads import WorkloadSpec
 from repro.workloads import FixedSizeWorkload
 
 
@@ -52,8 +53,9 @@ def main():
     # What does this server saturate at?  (Fig. 8)
     print("\nSaturation rates on the Nehalem prototype:")
     for name, app in cal.APPLICATIONS.items():
-        r64 = max_loss_free_rate(app, 64)
-        rab = max_loss_free_rate(app, cal.ABILENE_MEAN_PACKET_BYTES)
+        r64 = max_loss_free_rate(WorkloadSpec.fixed(64, app=app))
+        rab = max_loss_free_rate(
+            WorkloadSpec.fixed(cal.ABILENE_MEAN_PACKET_BYTES, app=app))
         print("  %-11s 64B: %5.2f Gbps (%s-bound)   Abilene: %5.2f Gbps (%s-bound)"
               % (name, r64.rate_gbps, r64.bottleneck,
                  rab.rate_gbps, rab.bottleneck))

@@ -14,6 +14,7 @@ from repro.click import CounterElement, IPsecESPEncap
 from repro.crypto import EspContext, esp_decapsulate
 from repro.net import IPv4Address
 from repro.perfmodel import max_loss_free_rate
+from repro.workloads import WorkloadSpec
 from repro.workloads import AbileneTrace
 
 
@@ -68,12 +69,13 @@ def main():
     print("\nIPsec gateway saturation (software AES-128):")
     for label, size in (("64B", 64),
                         ("Abilene", cal.ABILENE_MEAN_PACKET_BYTES)):
-        result = max_loss_free_rate(cal.IPSEC, size)
+        result = max_loss_free_rate(WorkloadSpec.fixed(size, app=cal.IPSEC))
         print("  %-8s %5.2f Gbps (%s-bound, %.0f cycles/packet)"
               % (label, result.rate_gbps, result.bottleneck,
                  result.loads.cpu_cycles))
-    plain = max_loss_free_rate(cal.MINIMAL_FORWARDING, 64)
-    ipsec = max_loss_free_rate(cal.IPSEC, 64)
+    plain = max_loss_free_rate(
+        WorkloadSpec.fixed(64, app=cal.MINIMAL_FORWARDING))
+    ipsec = max_loss_free_rate(WorkloadSpec.fixed(64, app=cal.IPSEC))
     print("encryption tax at 64B: %.1fx slower than plain forwarding"
           % (plain.rate_bps / ipsec.rate_bps))
 

@@ -7,17 +7,30 @@ and a :meth:`Element.resource_cost` hook so the scheduler, the timed
 simulation, and the analytic pipeline compiler all charge the same
 per-packet :class:`~repro.costs.ResourceVector` for the work an element
 represents.
+
+Elements come in two speeds.  Every element implements the scalar
+:meth:`Element.process`; hot elements may additionally override
+:meth:`Element.process_batch` to handle a whole
+:class:`~repro.net.batch.PacketBatch` per call (the RouteBricks batching
+argument applied to the Python interpreter itself).  The base class
+provides a loop-over-scalar fallback, so a batch pushed into a graph
+degrades gracefully: it travels as columns through consecutive
+batch-native elements and splits back to per-packet calls at the first
+element that is not.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..costs import ZERO_VECTOR, ResourceVector
 from ..errors import ConfigurationError
 from ..net.packet import Packet
+from ..obs.metrics import active_registry
 from ..obs.trace import TRACE_ANNOTATION
+
+if TYPE_CHECKING:
+    from ..net.batch import PacketBatch
 
 
 class PushPort:
@@ -42,6 +55,12 @@ class PushPort:
                 "%s output %d is dangling" % (self.owner.name, self.index))
         self.peer.receive(packet, self.peer_port)
 
+    def push_batch(self, batch: "PacketBatch") -> None:
+        if self.peer is None:
+            raise ConfigurationError(
+                "%s output %d is dangling" % (self.owner.name, self.index))
+        self.peer.receive_batch(batch, self.peer_port)
+
 
 class Element:
     """Base class for all dataplane elements.
@@ -54,7 +73,10 @@ class Element:
     cost_per_byte * packet.length`` on each component, either from the
     class-level term declarations or from terms set at construction via
     :meth:`set_cost_terms` (device and application elements derive theirs
-    from the shared :class:`~repro.costs.CostModel`).
+    from the shared :class:`~repro.costs.CostModel`).  A batch charges
+    ``n * cost_base + cost_per_byte * sum(lengths)`` -- the same affine
+    form, so the analytic compiler and the timed simulation agree
+    whether or not the fast path ran.
     """
 
     #: Number of output ports; subclasses override as needed.
@@ -73,6 +95,14 @@ class Element:
         self.bytes_in = 0
         self.packets_out = 0
         self.packets_dropped = 0
+        # Drop-cause counter, resolved once (same discipline as
+        # core.node): None unless an enabled registry is active, so the
+        # disabled-observability cost is a single attribute check.
+        registry = active_registry()
+        self._drop_counter = (
+            registry.counter("element_drops",
+                             help="packets dropped, by element and cause")
+            if registry.enabled else None)
 
     def output(self, index: int = 0) -> PushPort:
         if not 0 <= index < len(self._outputs):
@@ -99,17 +129,75 @@ class Element:
             trace.hop(self.name)
         self.process(packet, port)
 
+    def receive_batch(self, batch: "PacketBatch", port: int = 0) -> None:
+        """Batch entry point called by upstream elements.
+
+        Counts the whole burst (``packets_in += n``, ``bytes_in +=
+        sum(lengths)`` -- integer sums, so the totals are exactly what
+        ``n`` scalar receives would have produced), records trace hops
+        for sampled rows, then dispatches to :meth:`process_batch`.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        self.packets_in += n
+        self.bytes_in += batch.total_bytes
+        if batch.traced:
+            name = self.name
+            for _, trace in batch.traced:
+                trace.hop(name)
+        self.process_batch(batch, port)
+
     def push(self, packet: Packet, output: int = 0) -> None:
         """Push a packet downstream (used inside :meth:`process`)."""
         self.packets_out += 1
         self.output(output).push(packet)
 
-    def drop(self, packet: Packet) -> None:
-        """Account a deliberate drop."""
+    def push_batch(self, batch: "PacketBatch", output: int = 0) -> None:
+        """Push a whole batch downstream (used inside
+        :meth:`process_batch`)."""
+        n = len(batch)
+        if n == 0:
+            return
+        self.packets_out += n
+        self.output(output).push_batch(batch)
+
+    def drop(self, packet: Packet, cause: str = "dropped") -> None:
+        """Account a deliberate drop, tagged with its cause."""
         self.packets_dropped += 1
+        if self._drop_counter is not None:
+            self._drop_counter.inc(1, element=self.name, cause=cause)
+
+    def drop_batch(self, batch: "PacketBatch",
+                   cause: str = "dropped") -> None:
+        """Account every packet of a batch as dropped.
+
+        One increment of ``n`` equals ``n`` increments of one (integer
+        counters), so batch drops and scalar drops are indistinguishable
+        in every report.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        self.packets_dropped += n
+        if self._drop_counter is not None:
+            self._drop_counter.inc(n, element=self.name, cause=cause)
 
     def process(self, packet: Packet, port: int) -> None:
         raise NotImplementedError
+
+    def process_batch(self, batch: "PacketBatch", port: int) -> None:
+        """Scalar fallback: flush column state and loop :meth:`process`.
+
+        ``receive_batch`` already counted the burst, so this calls
+        :meth:`process` directly (not :meth:`receive`) -- the per-element
+        counters end up identical to ``n`` scalar traversals of *this*
+        element, and any downstream pushes go through the ordinary scalar
+        ports from here on.
+        """
+        process = self.process
+        for packet in batch.sync():
+            process(packet, port)
 
     # -- cost accounting ---------------------------------------------------
 
@@ -122,27 +210,11 @@ class Element:
     def resource_cost(self, packet: Packet) -> ResourceVector:
         """Per-packet cost of this element's work on every component.
 
-        Computed from the declared affine terms.  Subclasses that still
-        override the legacy :meth:`cycle_cost` hook are honored: their
-        cycles become the vector's CPU entry (bus terms zero).
+        Computed from the declared affine terms.
         """
-        if type(self).cycle_cost is not Element.cycle_cost:
-            return ResourceVector(cpu_cycles=self.cycle_cost(packet))
         if self.cost_per_byte.is_zero():
             return self.cost_base
         return self.cost_base + self.cost_per_byte.scaled(packet.length)
-
-    def cycle_cost(self, packet: Packet) -> float:
-        """Deprecated: CPU cycles this element's work costs for ``packet``.
-
-        Kept as a thin shim over :meth:`resource_cost` for callers that
-        only want the CPU entry; new code should use the vector API.
-        """
-        warnings.warn(
-            "Element.cycle_cost is deprecated; use resource_cost(packet)"
-            ".cpu_cycles instead",
-            DeprecationWarning, stacklevel=2)
-        return self.resource_cost(packet).cpu_cycles
 
     # -- static forwarding behaviour ---------------------------------------
 

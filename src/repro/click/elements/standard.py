@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ...errors import ConfigurationError
+from ...net.batch import PacketBatch
 from ...net.packet import Packet
 from ...simnet.queues import FiniteQueue
 from ..element import Element
@@ -16,7 +17,10 @@ class Discard(Element):
     n_outputs = 0
 
     def process(self, packet: Packet, port: int) -> None:
-        self.drop(packet)
+        self.drop(packet, "discard")
+
+    def process_batch(self, batch: PacketBatch, port: int) -> None:
+        self.drop_batch(batch, "discard")
 
 
 class CounterElement(Element):
@@ -31,6 +35,11 @@ class CounterElement(Element):
         self.count += 1
         self.byte_count += packet.length
         self.push(packet)
+
+    def process_batch(self, batch: PacketBatch, port: int) -> None:
+        self.count += len(batch)
+        self.byte_count += batch.total_bytes
+        self.push_batch(batch)
 
 
 class PacketQueue(Element):
@@ -47,7 +56,7 @@ class PacketQueue(Element):
 
     def process(self, packet: Packet, port: int) -> None:
         if not self.fifo.offer(packet):
-            self.drop(packet)
+            self.drop(packet, "queue_full")
 
     def pull(self) -> Optional[Packet]:
         """Remove and return the oldest packet, or None."""
@@ -87,7 +96,7 @@ class SetTTL(Element):
 
     def process(self, packet: Packet, port: int) -> None:
         if packet.ip is None:
-            self.drop(packet)
+            self.drop(packet, "no_ip")
             return
         packet.ip.ttl = self.ttl
         packet.ip.pack()  # refresh the checksum
@@ -117,7 +126,7 @@ class SourceFilter(Element):
             if self.output(1).peer is not None:
                 self.push(packet, 1)
             else:
-                self.drop(packet)
+                self.drop(packet, "filtered")
             return
         self.push(packet, 0)
 
@@ -132,6 +141,10 @@ class Paint(Element):
     def process(self, packet: Packet, port: int) -> None:
         packet.annotations["paint"] = self.color
         self.push(packet)
+
+    def process_batch(self, batch: PacketBatch, port: int) -> None:
+        batch.paint_column()[:] = self.color
+        self.push_batch(batch)
 
 
 class CheckPaint(Element):
@@ -148,6 +161,21 @@ class CheckPaint(Element):
             self.push(packet, 0)
         else:
             self.push(packet, 1)
+
+    def process_batch(self, batch: PacketBatch, port: int) -> None:
+        if batch.paint is None:
+            # No paint column: colors (if any) live in per-packet
+            # annotations, so only the scalar loop can see them.
+            super().process_batch(batch, port)
+            return
+        match = batch.paint == self.color
+        if match.all():
+            self.push_batch(batch, 0)
+        elif not match.any():
+            self.push_batch(batch, 1)
+        else:
+            self.push_batch(batch.select(match), 0)
+            self.push_batch(batch.select(~match), 1)
 
 
 class RandomSample(Element):
@@ -171,7 +199,7 @@ class RandomSample(Element):
             self.sampled += 1
             self.push(packet)
         else:
-            self.drop(packet)
+            self.drop(packet, "not_sampled")
 
     def output_probabilities(self) -> List[float]:
         return [self.p]
@@ -237,7 +265,7 @@ class Classifier(Element):
         if self.catch_all:
             self.push(packet, self.n_outputs - 1)
         else:
-            self.drop(packet)
+            self.drop(packet, "no_match")
 
     def output_probabilities(self) -> List[float]:
         """Without traffic knowledge, assume a uniform match distribution."""

@@ -15,7 +15,6 @@ Two complementary views:
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -156,7 +155,6 @@ class RouteBricksRouter:
         ``workload`` is a :class:`~repro.workloads.WorkloadSpec` (its
         size mix supplies the mean packet size and its ``app`` the
         ingress application; an explicit ``ingress_app`` overrides).
-        Passing a bare packet size is deprecated but still works.
 
         With a close-to-uniform matrix and adaptive Direct VLB, per-pair
         demand R/(N-1) stays below the internal link rate, so everything
@@ -166,16 +164,14 @@ class RouteBricksRouter:
         """
         from ..workloads.spec import WorkloadSpec
 
-        if isinstance(workload, WorkloadSpec):
-            packet_bytes = workload.mean_packet_bytes
-            if ingress_app is None:
-                ingress_app = workload.app
-        else:
-            warnings.warn(
-                "max_throughput(packet_bytes) is deprecated; pass a "
-                "repro.workloads.WorkloadSpec instead",
-                DeprecationWarning, stacklevel=2)
-            packet_bytes = float(workload)
+        if not isinstance(workload, WorkloadSpec):
+            raise TypeError(
+                "max_throughput() takes a repro.workloads.WorkloadSpec; "
+                "the bare packet-size form was removed -- use "
+                "WorkloadSpec.fixed(packet_bytes)")
+        packet_bytes = workload.mean_packet_bytes
+        if ingress_app is None:
+            ingress_app = workload.app
         n = self.num_nodes
         indirect = 0.0 if uniform else 1.0
         cycles = self._cycles_per_ingress_packet(packet_bytes, indirect,

@@ -46,12 +46,18 @@ class NicQueue:
         self.direction = direction
         self.capacity = capacity
         self._ring = deque()
+        #: Count-only occupancy used by the batch fast-path: descriptors
+        #: whose payload nobody will inspect are tracked as an integer
+        #: instead of ring entries, so push/pop are O(1) regardless of
+        #: burst size.  ``__len__`` and the capacity check see the sum of
+        #: both, so token and object descriptors share the ring honestly.
+        self._tokens = 0
         self.enqueued = 0
         self.dropped = 0
         self.accessing_cores: Set[int] = set()
 
     def __len__(self) -> int:
-        return len(self._ring)
+        return len(self._ring) + self._tokens
 
     def push(self, packet: Packet) -> bool:
         """Append a packet; returns False (and counts a drop) if full."""
@@ -76,6 +82,30 @@ class NicQueue:
         while self._ring and len(out) < max_packets:
             out.append(self._ring.popleft())
         return out
+
+    def push_token(self) -> bool:
+        """Count-only enqueue: same capacity/drop accounting as
+        :meth:`push`, for descriptors whose payload is never read."""
+        if len(self._ring) + self._tokens >= self.capacity:
+            self.dropped += 1
+            return False
+        self._tokens += 1
+        self.enqueued += 1
+        return True
+
+    def pop_tokens(self, max_packets: int) -> int:
+        """Remove up to ``max_packets`` token descriptors; returns how
+        many came off (the count-only mirror of :meth:`pop_batch`)."""
+        tokens = self._tokens
+        n = max_packets if tokens > max_packets else tokens
+        self._tokens = tokens - n
+        return n
+
+    def clear(self) -> None:
+        """Drop all queued descriptors, object and token alike (run
+        setup: scrub residue left by a previous run on the same port)."""
+        self._ring.clear()
+        self._tokens = 0
 
     def note_access(self, core_id: int) -> None:
         """Record that ``core_id`` touches this queue."""

@@ -1,0 +1,307 @@
+"""Structure-of-arrays packet batches for the vectorized dataplane.
+
+RouteBricks' thesis is that per-packet overhead, not raw compute, caps
+software-router throughput (Sec. 3.2, Table 1).  The scalar dataplane
+pays that overhead at the Python level too: one ``receive -> process ->
+push`` round trip per element per packet.  :class:`PacketBatch` is the
+amortization vehicle: one poll burst becomes numpy columns (length,
+destination address, TTL, checksum, ...) over a shared packet list, so a
+batch-native element (``Element.process_batch``) touches each column
+once per burst instead of each packet once per element.
+
+Two construction modes:
+
+* :meth:`PacketBatch.from_packets` gathers columns from existing
+  :class:`~repro.net.packet.Packet` objects (the RX-ring drain path);
+* :meth:`PacketBatch.from_columns` starts from columns alone, with a
+  factory that materializes a real ``Packet`` lazily -- traffic
+  generators use this so unobserved packets never pay Python header
+  construction.
+
+Column mutations (TTL decrement, Ethernet re-encap, annotations written
+by lookup/paint elements) are buffered in the arrays and flushed to the
+underlying packet objects by :meth:`sync` -- called automatically at the
+scalar boundary (the base-class ``process_batch`` fallback) and by the
+TX endpoint, so scalar code always sees packets in the same state the
+scalar pipeline would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .headers import ETHERTYPE_IPV4
+from .packet import Packet
+
+#: Sentinel for "no paint annotation" in the int paint column.
+NO_PAINT = -1
+
+
+class PacketBatch:
+    """One burst of packets as numpy columns over a shared packet list.
+
+    Columns (all length-``n``):
+
+    ``lengths``
+        int64 frame lengths (``Packet.length``).
+    ``has_ip``
+        bool; False rows have zeroed IP columns.
+    ``ethertype``, ``ttl``, ``proto``, ``total_length``, ``checksum``
+        int32/int16 header fields (checksum is int64 for arithmetic
+        headroom in the vectorized RFC 1624 update).
+    ``dst``, ``src``
+        uint32 IPv4 addresses.
+
+    Lazily-allocated object columns ``next_hop``/``next_hop_mac`` and
+    the int ``paint`` column buffer annotation writes; ``sync`` flushes
+    them into ``packet.annotations`` exactly as the scalar elements
+    would have written them.
+    """
+
+    __slots__ = (
+        "packets", "lengths", "has_ip", "ethertype", "dst", "src",
+        "ttl", "proto", "total_length", "checksum",
+        "next_hop", "next_hop_mac", "paint",
+        "eth_src", "eth_ethertype",
+        "traced", "_materialize", "_ip_dirty", "_eth_dirty",
+    )
+
+    def __init__(self):
+        self.packets: List[Optional[Packet]] = []
+        self.traced: List[tuple] = []  # (row index, PathTrace)
+        self.next_hop = None
+        self.next_hop_mac = None
+        self.paint = None
+        self.eth_src = None       # MACAddress applied batch-wide on sync
+        self.eth_ethertype = None
+        self._materialize: Optional[Callable[[int], Packet]] = None
+        self._ip_dirty = False
+        self._eth_dirty = False
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_packets(cls, packets: Sequence[Packet],
+                     trace_key: Optional[str] = None) -> "PacketBatch":
+        """Gather columns from real packets (the RX-ring drain path).
+
+        ``trace_key`` names the annotation under which in-flight path
+        traces ride (``repro.obs.trace.TRACE_ANNOTATION``); matching
+        rows are collected into :attr:`traced` so batch-aware elements
+        can record hops without a per-packet dict probe downstream.
+        """
+        batch = cls()
+        n = len(packets)
+        batch.packets = list(packets)
+        lengths = np.empty(n, dtype=np.int64)
+        has_ip = np.zeros(n, dtype=bool)
+        ethertype = np.empty(n, dtype=np.int32)
+        dst = np.zeros(n, dtype=np.uint32)
+        src = np.zeros(n, dtype=np.uint32)
+        ttl = np.zeros(n, dtype=np.int16)
+        proto = np.zeros(n, dtype=np.int16)
+        total_length = np.zeros(n, dtype=np.int32)
+        checksum = np.zeros(n, dtype=np.int64)
+        traced = batch.traced
+        for i, packet in enumerate(packets):
+            lengths[i] = packet.length
+            ethertype[i] = packet.eth.ethertype
+            ip = packet.ip
+            if ip is not None:
+                has_ip[i] = True
+                dst[i] = ip.dst.value
+                src[i] = ip.src.value
+                ttl[i] = ip.ttl
+                proto[i] = ip.proto
+                total_length[i] = ip.total_length
+                checksum[i] = ip.checksum
+            if trace_key is not None:
+                trace = packet.annotations.get(trace_key)
+                if trace is not None:
+                    traced.append((i, trace))
+        batch.lengths = lengths
+        batch.has_ip = has_ip
+        batch.ethertype = ethertype
+        batch.dst = dst
+        batch.src = src
+        batch.ttl = ttl
+        batch.proto = proto
+        batch.total_length = total_length
+        batch.checksum = checksum
+        return batch
+
+    @classmethod
+    def from_columns(cls, lengths, dst, src, ttl, proto, total_length,
+                     checksum=None, ethertype=ETHERTYPE_IPV4,
+                     materialize: Optional[Callable[[int], Packet]] = None
+                     ) -> "PacketBatch":
+        """Build a batch from columns alone (traffic-generator path).
+
+        ``materialize(i)`` must return a real :class:`Packet` equivalent
+        to row ``i``'s *initial* state; :meth:`packet` calls it lazily
+        and caches the result, and :meth:`sync` overlays any column
+        mutations afterwards.
+        """
+        batch = cls()
+        batch.lengths = np.asarray(lengths, dtype=np.int64)
+        n = len(batch.lengths)
+        batch.dst = np.asarray(dst, dtype=np.uint32)
+        batch.src = np.asarray(src, dtype=np.uint32)
+        batch.ttl = np.asarray(ttl, dtype=np.int16)
+        batch.proto = np.asarray(proto, dtype=np.int16)
+        batch.total_length = np.asarray(total_length, dtype=np.int32)
+        batch.checksum = (np.zeros(n, dtype=np.int64) if checksum is None
+                          else np.asarray(checksum, dtype=np.int64))
+        batch.ethertype = np.full(n, ethertype, dtype=np.int32) \
+            if np.isscalar(ethertype) \
+            else np.asarray(ethertype, dtype=np.int32)
+        batch.has_ip = np.ones(n, dtype=bool)
+        batch.packets = [None] * n
+        batch._materialize = materialize
+        return batch
+
+    # -- basic accessors ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of frame lengths (exact: integer column)."""
+        return int(self.lengths.sum())
+
+    def packet(self, index: int) -> Packet:
+        """Row ``index`` as a real packet, materializing lazily."""
+        packet = self.packets[index]
+        if packet is None:
+            if self._materialize is None:
+                raise ValueError("batch row %d has no packet and no "
+                                 "materializer" % index)
+            packet = self._materialize(index)
+            self.packets[index] = packet
+        return packet
+
+    def materialize_all(self) -> List[Packet]:
+        """Every row as a real packet (scalar-boundary helper)."""
+        return [self.packet(i) for i in range(len(self.packets))]
+
+    # -- splitting ---------------------------------------------------------
+
+    def select(self, mask_or_indices) -> "PacketBatch":
+        """Sub-batch of the rows picked by a bool mask or index array.
+
+        Row order is preserved, so per-queue push order downstream is
+        identical to the scalar path's.  Column arrays are copies (numpy
+        fancy indexing); packet objects are shared with the parent.
+        """
+        indices = np.asarray(mask_or_indices)
+        if indices.dtype == bool:
+            indices = np.nonzero(indices)[0]
+        sub = PacketBatch()
+        sub.lengths = self.lengths[indices]
+        sub.has_ip = self.has_ip[indices]
+        sub.ethertype = self.ethertype[indices]
+        sub.dst = self.dst[indices]
+        sub.src = self.src[indices]
+        sub.ttl = self.ttl[indices]
+        sub.proto = self.proto[indices]
+        sub.total_length = self.total_length[indices]
+        sub.checksum = self.checksum[indices]
+        for column in ("next_hop", "next_hop_mac", "paint"):
+            value = getattr(self, column)
+            if value is not None:
+                setattr(sub, column, value[indices])
+        sub.eth_src = self.eth_src
+        sub.eth_ethertype = self.eth_ethertype
+        sub._ip_dirty = self._ip_dirty
+        sub._eth_dirty = self._eth_dirty
+        parent_packets = self.packets
+        sub.packets = [parent_packets[int(i)] for i in indices]
+        if self._materialize is not None:
+            parent = self
+            rows = indices
+            sub._materialize = lambda j: parent.packet(int(rows[j]))
+        if self.traced:
+            position = {int(row): pos for pos, row in enumerate(indices)}
+            sub.traced = [(position[i], trace) for i, trace in self.traced
+                          if i in position]
+        return sub
+
+    # -- annotation columns ------------------------------------------------
+
+    def paint_column(self) -> np.ndarray:
+        """The paint column, allocating it (all :data:`NO_PAINT`) on
+        first use."""
+        if self.paint is None:
+            self.paint = np.full(len(self.packets), NO_PAINT,
+                                 dtype=np.int64)
+        return self.paint
+
+    def route_columns(self):
+        """The ``next_hop``/``next_hop_mac`` object columns, allocated
+        on first use (rows default to None = no route annotation)."""
+        if self.next_hop is None:
+            n = len(self.packets)
+            self.next_hop = np.full(n, None, dtype=object)
+            self.next_hop_mac = np.full(n, None, dtype=object)
+        return self.next_hop, self.next_hop_mac
+
+    def mark_ip_dirty(self) -> None:
+        self._ip_dirty = True
+
+    def mark_eth_dirty(self) -> None:
+        self._eth_dirty = True
+
+    # -- the scalar boundary -----------------------------------------------
+
+    def sync(self) -> List[Packet]:
+        """Flush column mutations into the packet objects.
+
+        Returns the fully materialized packet list.  After ``sync`` the
+        packets are byte-for-byte what the scalar element chain would
+        have produced: TTL/checksum from the IP columns, Ethernet
+        re-encap fields, and ``next_hop``/``next_hop_mac``/``paint``
+        annotations where the batch elements set them.
+        """
+        packets = self.materialize_all()
+        if self._ip_dirty:
+            ttl = self.ttl
+            checksum = self.checksum
+            has_ip = self.has_ip
+            for i, packet in enumerate(packets):
+                if has_ip[i] and packet.ip is not None:
+                    packet.ip.ttl = int(ttl[i])
+                    packet.ip.checksum = int(checksum[i])
+        if self._eth_dirty:
+            eth_src = self.eth_src
+            eth_type = self.eth_ethertype
+            macs = self.next_hop_mac
+            for i, packet in enumerate(packets):
+                eth = packet.eth
+                if macs is not None and macs[i] is not None:
+                    eth.dst = macs[i]
+                if eth_src is not None:
+                    eth.src = eth_src
+                if eth_type is not None:
+                    eth.ethertype = eth_type
+        if self.next_hop is not None:
+            hops = self.next_hop
+            macs = self.next_hop_mac
+            for i, packet in enumerate(packets):
+                if hops[i] is not None:
+                    packet.annotations["next_hop"] = hops[i]
+                    packet.annotations["next_hop_mac"] = macs[i]
+        if self.paint is not None:
+            paint = self.paint
+            for i, packet in enumerate(packets):
+                if paint[i] != NO_PAINT:
+                    packet.annotations["paint"] = int(paint[i])
+        self._ip_dirty = False
+        self._eth_dirty = False
+        return packets
+
+    def __repr__(self):
+        return "<PacketBatch n=%d bytes=%d>" % (len(self.packets),
+                                                self.total_bytes)

@@ -130,6 +130,26 @@ class TraceSampler:
             self.traces.append(trace)
         return trace
 
+    def start_trace(self, packet, time: float,
+                    site: str = "arrival") -> PathTrace:
+        """Unconditionally start (and retain, capacity permitting) a trace.
+
+        For callers that run the 1-in-``sample_every`` selection
+        themselves -- the batch arrival path keeps ``seen`` in a local
+        and only materializes a Packet for the slots this method would
+        be called on, then writes the final count back to :attr:`seen`.
+        The selection rule must match :meth:`maybe_start`'s (sample when
+        ``seen % sample_every == 0``) for the two entry points to pick
+        the same packet positions.
+        """
+        self.sampled += 1
+        trace = PathTrace(packet.packet_id, started=time)
+        trace.hop(site, time)
+        packet.annotations[TRACE_ANNOTATION] = trace
+        if len(self.traces) < self.max_traces:
+            self.traces.append(trace)
+        return trace
+
 
 def trace_of(packet) -> Optional[PathTrace]:
     """The packet's trace, if the sampler picked it."""

@@ -14,9 +14,8 @@ for large packets (Fig. 8).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Optional
 
 from .. import calibration as cal
 from ..errors import ConfigurationError
@@ -121,8 +120,7 @@ def rate_from_loads(loads: LoadVector, packet_bytes: float,
     )
 
 
-def max_loss_free_rate(workload: "Union[WorkloadSpec, cal.AppCost]",
-                       packet_bytes: Optional[float] = None,
+def max_loss_free_rate(workload: "WorkloadSpec",
                        spec: ServerSpec = NEHALEM,
                        config: ServerConfig = DEFAULT_CONFIG,
                        empirical_bounds: bool = True,
@@ -131,9 +129,7 @@ def max_loss_free_rate(workload: "Union[WorkloadSpec, cal.AppCost]",
 
     ``workload`` is a :class:`~repro.workloads.spec.WorkloadSpec` (its
     application and mean packet size drive the solver; per-packet costs
-    are affine in size, so the mean is exact for rate computations).  The
-    historical ``max_loss_free_rate(app, packet_bytes)`` form still works
-    but is deprecated.
+    are affine in size, so the mean is exact for rate computations).
 
     ``empirical_bounds`` uses the benchmark-derived (Table 2, right column)
     bus capacities instead of nominal ratings.  ``nic_limited`` applies the
@@ -141,21 +137,13 @@ def max_loss_free_rate(workload: "Union[WorkloadSpec, cal.AppCost]",
     limit); disable it to ask what the server internals alone could do.
     """
     from ..workloads.spec import WorkloadSpec
-    if isinstance(workload, WorkloadSpec):
-        if packet_bytes is not None:
-            raise ConfigurationError(
-                "pass the packet size inside the WorkloadSpec, not both")
-        app = workload.app
-        packet_bytes = workload.mean_packet_bytes
-    else:
-        warnings.warn(
-            "max_loss_free_rate(app, packet_bytes) is deprecated; pass a "
-            "repro.workloads.WorkloadSpec instead",
-            DeprecationWarning, stacklevel=2)
-        app = workload
-        if packet_bytes is None:
-            raise ConfigurationError("packet size required with the "
-                                     "deprecated (app, size) form")
+    if not isinstance(workload, WorkloadSpec):
+        raise TypeError(
+            "max_loss_free_rate() takes a repro.workloads.WorkloadSpec; "
+            "the (app, packet_bytes) form was removed -- use "
+            "WorkloadSpec.fixed(packet_bytes, app=app)")
+    app = workload.app
+    packet_bytes = workload.mean_packet_bytes
     if packet_bytes <= 0:
         raise ConfigurationError("packet size must be positive")
     loads = per_packet_loads(app, packet_bytes, config, spec)
@@ -164,18 +152,10 @@ def max_loss_free_rate(workload: "Union[WorkloadSpec, cal.AppCost]",
                            nic_limited=nic_limited)
 
 
-def saturation_throughput(workload, mean_packet_bytes: float = None,
+def saturation_throughput(workload: "WorkloadSpec",
                           spec: ServerSpec = NEHALEM,
                           config: ServerConfig = DEFAULT_CONFIG) -> RateResult:
-    """Convenience wrapper for trace workloads: uses the trace's mean
+    """Convenience wrapper for trace workloads: uses the workload's mean
     packet size (per-packet costs are affine in size, so the mean is exact
-    for rate computations).  Accepts a WorkloadSpec or the deprecated
-    ``(app, mean_packet_bytes)`` pair."""
-    from ..workloads.spec import WorkloadSpec
-    if not isinstance(workload, WorkloadSpec):
-        warnings.warn(
-            "saturation_throughput(app, mean_bytes) is deprecated; pass a "
-            "repro.workloads.WorkloadSpec instead",
-            DeprecationWarning, stacklevel=2)
-        workload = WorkloadSpec.fixed(mean_packet_bytes, app=workload)
+    for rate computations)."""
     return max_loss_free_rate(workload, spec=spec, config=config)

@@ -213,6 +213,94 @@ class Simulator:
         else:
             heappush(bucket, [time, next(self._seq), callback])
 
+    def preschedule_timers(self, times, callback: Callable[[], None]) -> None:
+        """Bulk-file fire-and-forget callbacks at ascending absolute times.
+
+        The batch arrival path schedules an entire run's worth of
+        identical arrival events up front, before :meth:`run` starts, so
+        the measured loop never pays ``schedule_timer`` per event.
+        ``times`` must be sorted ascending and at/after the current
+        clock; each entry gets a fresh sequence number in list order, so
+        execution order is exactly what per-event ``schedule_timer``
+        calls at those times would have produced.  Appending in
+        ascending time order keeps every bucket a valid min-heap without
+        a single ``heappush``.
+        """
+        if not len(times):
+            return
+        now = self.now
+        if times[0] < now:
+            raise SimulationError(
+                "cannot schedule at %r, clock already at %r"
+                % (times[0], now))
+        if self._quantum == 0.0:
+            if times[0] > now:
+                self._quantum = times[0] - now
+            elif len(times) > 1 and times[1] > times[0]:
+                self._quantum = times[1] - times[0]
+            else:
+                for time in times:
+                    self.schedule_timer_at(time, callback)
+                return
+        quantum = self._quantum
+        seq = self._seq
+        buckets = self._buckets
+        bucket_keys = self._bucket_keys
+        bucket = None
+        bucket_index = None
+        fresh = False
+        new_keys = []
+        for time in times:
+            index = int(time / quantum)
+            if index != bucket_index:
+                bucket_index = index
+                bucket = buckets.get(index)
+                fresh = bucket is None
+                if fresh:
+                    bucket = buckets[index] = []
+                    new_keys.append(index)
+            if fresh:
+                # Ascending appends into a fresh bucket keep the list
+                # sorted, and a sorted list is a valid min-heap.
+                bucket.append([time, next(seq), callback])
+            else:
+                # Pre-existing bucket with arbitrary entries: real push.
+                heappush(bucket, [time, next(seq), callback])
+        if bucket_keys:
+            for index in new_keys:
+                heappush(bucket_keys, index)
+        else:
+            bucket_keys.extend(new_keys)  # ascending: already a heap
+
+    def timer_filer(self) -> Callable[[float, Callable[[], None]], None]:
+        """A prebound ``file_at(time, callback)`` closure over the wheel.
+
+        The batch runners schedule one successor timer per poll from the
+        innermost loop; this closure is :meth:`schedule_timer_at` minus
+        per-call attribute chasing and validation.  The caller must pass
+        ``time >= now`` (poll delays are always positive).  Falls back to
+        the full method while the quantum is still unknown -- the first
+        absolute-time call through that path learns it.
+        """
+        quantum = self._quantum
+        if quantum == 0.0:
+            return self.schedule_timer_at
+        seq = self._seq
+        buckets = self._buckets
+        keys = self._bucket_keys
+        get = buckets.get
+
+        def file_at(time: float, callback: Callable[[], None]) -> None:
+            entry = [time, next(seq), callback]
+            index = int(time / quantum)
+            bucket = get(index)
+            if bucket is None:
+                buckets[index] = [entry]
+                heappush(keys, index)
+            else:
+                heappush(bucket, entry)
+        return file_at
+
     def schedule_every(self, interval: float, callback: Callable[[], None],
                        until: Optional[float] = None,
                        start_delay: Optional[float] = None) -> "PeriodicTask":

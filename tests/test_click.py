@@ -240,8 +240,8 @@ class TestIPsecElement:
 
     def test_cycle_cost_scales_with_size(self):
         element = IPsecESPEncap(self._context())
-        small = element.cycle_cost(_udp(length=64))
-        large = element.cycle_cost(_udp(length=1500))
+        small = element.resource_cost(_udp(length=64)).cpu_cycles
+        large = element.resource_cost(_udp(length=1500)).cpu_cycles
         assert large > small + 1000
 
 

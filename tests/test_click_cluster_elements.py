@@ -84,7 +84,8 @@ class TestVLBIngress:
         without = VLBIngress(_table(), self_node=0, num_nodes=4,
                              use_flowlets=False, name="nofl")
         probe = Packet.udp("1.1.1.1", "10.1.0.1")
-        assert with_fl.cycle_cost(probe) > without.cycle_cost(probe)
+        assert (with_fl.resource_cost(probe).cpu_cycles
+                > without.resource_cost(probe).cpu_cycles)
 
     def test_bad_config(self):
         with pytest.raises(ConfigurationError):
@@ -117,7 +118,8 @@ class TestVLBTransit:
     def test_zero_cycle_cost(self):
         # The whole point of the MAC trick: no CPU header processing.
         transit = VLBTransit(self_node=0, num_nodes=4)
-        assert transit.cycle_cost(Packet.udp("1.1.1.1", "2.2.2.2")) == 0.0
+        cost = transit.resource_cost(Packet.udp("1.1.1.1", "2.2.2.2"))
+        assert cost.cpu_cycles == 0.0
 
     def test_out_of_range_node_dropped(self):
         transit = VLBTransit(self_node=0, num_nodes=2)

@@ -10,33 +10,35 @@ from repro.core.latency import (
     server_latency_usec,
 )
 from repro.errors import ConfigurationError
-from repro.workloads import FlowGenerator
+from repro.workloads import FlowGenerator, WorkloadSpec
 
 
 class TestAnalyticThroughput:
     def test_rb4_64b_matches_paper(self):
-        result = RouteBricksRouter().max_throughput(64)
+        result = RouteBricksRouter().max_throughput(WorkloadSpec.fixed(64))
         assert result.aggregate_gbps == pytest.approx(12.0, rel=0.02)
         assert result.binding == "cpu"
 
     def test_rb4_abilene_matches_paper(self):
         result = RouteBricksRouter().max_throughput(
-            cal.ABILENE_MEAN_PACKET_BYTES)
+            WorkloadSpec.fixed(cal.ABILENE_MEAN_PACKET_BYTES))
         assert result.aggregate_gbps == pytest.approx(35.0, rel=0.02)
         assert result.binding == "nic"
 
     def test_64b_in_expected_window(self):
         """Sec. 6.2: expected between 4 x 6.35/2 = 12.7 and 4 x 9.7/2 =
         19.4 Gbps before reordering-avoidance overhead; with it, 12."""
-        no_overhead = RouteBricksRouter(use_flowlets=False).max_throughput(64)
+        no_overhead = RouteBricksRouter(
+            use_flowlets=False).max_throughput(WorkloadSpec.fixed(64))
         assert 12.7 < no_overhead.aggregate_gbps < 19.4
-        with_overhead = RouteBricksRouter().max_throughput(64)
+        with_overhead = RouteBricksRouter().max_throughput(
+            WorkloadSpec.fixed(64))
         assert with_overhead.aggregate_gbps < no_overhead.aggregate_gbps
 
     def test_worst_case_matrix_slower(self):
         router = RouteBricksRouter()
-        uniform = router.max_throughput(64, uniform=True)
-        worst = router.max_throughput(64, uniform=False)
+        uniform = router.max_throughput(WorkloadSpec.fixed(64), uniform=True)
+        worst = router.max_throughput(WorkloadSpec.fixed(64), uniform=False)
         assert worst.aggregate_bps < uniform.aggregate_bps
 
     def test_port_rate_caps_throughput(self):
@@ -45,7 +47,7 @@ class TestAnalyticThroughput:
         router = RouteBricksRouter(spec=NEHALEM_NEXT_GEN,
                                    nic_effective_bps=1e12,
                                    internal_link_bps=1e12)
-        result = router.max_throughput(1024)
+        result = router.max_throughput(WorkloadSpec.fixed(1024))
         assert result.binding == "port"
         assert result.per_port_bps == pytest.approx(10e9)
 
@@ -57,8 +59,9 @@ class TestAnalyticThroughput:
         """Running IPsec at the input nodes (a VPN-gateway cluster) drops
         aggregate throughput roughly with the encryption tax."""
         router = RouteBricksRouter()
-        routing = router.max_throughput(64)
-        ipsec = router.max_throughput(64, ingress_app=cal.IPSEC)
+        routing = router.max_throughput(WorkloadSpec.fixed(64))
+        ipsec = router.max_throughput(WorkloadSpec.fixed(64),
+                                      ingress_app=cal.IPSEC)
         assert ipsec.binding == "cpu"
         assert ipsec.aggregate_bps < routing.aggregate_bps / 2.5
 
@@ -66,7 +69,8 @@ class TestAnalyticThroughput:
         from repro.perfmodel import define_application
         dpi = define_application("dpi", cycles_per_packet=4000)
         router = RouteBricksRouter()
-        result = router.max_throughput(64, ingress_app=dpi)
+        result = router.max_throughput(WorkloadSpec.fixed(64),
+                                       ingress_app=dpi)
         assert 0 < result.aggregate_gbps < 12.0
 
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro import calibration as cal
 from repro.core import RouteBricksRouter
-from repro.workloads import FixedSizeWorkload
+from repro.workloads import FixedSizeWorkload, WorkloadSpec
 
 
 class TestLinearScaling:
@@ -17,7 +17,7 @@ class TestLinearScaling:
             per_port = {}
             for n in (4, 8, 16):
                 result = RouteBricksRouter(num_nodes=n).max_throughput(
-                    packet_bytes)
+                    WorkloadSpec.fixed(packet_bytes))
                 per_port[n] = result.per_port_bps
             # Per-port rate roughly constant => aggregate linear in N.
             rates = list(per_port.values())
@@ -26,8 +26,10 @@ class TestLinearScaling:
     def test_per_port_rate_improves_slightly_with_n(self):
         """Larger meshes spread internal traffic thinner (share 1/(N-1)),
         easing the NIC ceiling -- per-port Abilene rate grows with N."""
-        small = RouteBricksRouter(num_nodes=4).max_throughput(740)
-        large = RouteBricksRouter(num_nodes=8).max_throughput(740)
+        small = RouteBricksRouter(num_nodes=4).max_throughput(
+            WorkloadSpec.fixed(740))
+        large = RouteBricksRouter(num_nodes=8).max_throughput(
+            WorkloadSpec.fixed(740))
         assert large.per_port_bps >= small.per_port_bps
 
     def test_worst_case_penalty_constant_in_n(self):
@@ -36,8 +38,10 @@ class TestLinearScaling:
         ratios = []
         for n in (4, 8, 16):
             router = RouteBricksRouter(num_nodes=n)
-            uniform = router.max_throughput(64, uniform=True)
-            worst = router.max_throughput(64, uniform=False)
+            uniform = router.max_throughput(WorkloadSpec.fixed(64),
+                                            uniform=True)
+            worst = router.max_throughput(WorkloadSpec.fixed(64),
+                                          uniform=False)
             ratios.append(uniform.aggregate_bps / worst.aggregate_bps)
         assert max(ratios) - min(ratios) < 0.2
         assert all(1.0 < ratio < 1.6 for ratio in ratios)

@@ -168,7 +168,7 @@ class TestCostModel:
             DEFAULT_COST_MODEL.derive_application("bad")
 
 
-# -- element costs and the deprecation shim ---------------------------------
+# -- element costs ----------------------------------------------------------
 
 class TestElementCosts:
     def test_affine_cost_evaluation(self):
@@ -179,23 +179,14 @@ class TestElementCosts:
         assert v.cpu_cycles == pytest.approx(300.0)
         assert v.mem_bytes == pytest.approx(100.0)
 
-    def test_cycle_cost_shim_warns_and_matches(self):
+    def test_cycle_cost_shim_removed(self):
+        # The PR1 cycle_cost deprecation shim is gone; the attribute no
+        # longer exists on Element at all.
         e = Element("e")
         e.set_cost_terms(ResourceVector(cpu_cycles=5.0))
-        pkt = make_packet()
-        with pytest.warns(DeprecationWarning,
-                          match="cycle_cost is deprecated"):
-            cycles = e.cycle_cost(pkt)
-        assert cycles == pytest.approx(e.resource_cost(pkt).cpu_cycles)
-
-    def test_legacy_override_becomes_cpu_vector(self):
-        class Legacy(Element):
-            def cycle_cost(self, packet):
-                return 123.0
-
-        v = Legacy("l").resource_cost(make_packet())
-        assert v.cpu_cycles == 123.0
-        assert v.mem_bytes == 0.0
+        assert not hasattr(e, "cycle_cost")
+        assert e.resource_cost(make_packet(100)).cpu_cycles == \
+            pytest.approx(5.0)
 
     def test_device_elements_carry_model_terms(self):
         server = Server(NEHALEM, num_ports=1, queues_per_port=1)

@@ -6,6 +6,7 @@ from repro import calibration as cal
 from repro.errors import ConfigurationError
 from repro.perfmodel.custom_app import define_application, predict
 from repro.perfmodel.throughput import max_loss_free_rate
+from repro.workloads import WorkloadSpec
 
 
 class TestDefineApplication:
@@ -46,8 +47,10 @@ class TestDefineApplication:
     def test_zero_cost_app_equals_forwarding(self):
         app = define_application("noop", cycles_per_packet=0,
                                  touches_payload=False)
-        rate_noop = max_loss_free_rate(app, 64).rate_bps
-        rate_fwd = max_loss_free_rate(cal.MINIMAL_FORWARDING, 64).rate_bps
+        rate_noop = max_loss_free_rate(
+            WorkloadSpec.fixed(64, app=app)).rate_bps
+        rate_fwd = max_loss_free_rate(
+            WorkloadSpec.fixed(64, app=cal.MINIMAL_FORWARDING)).rate_bps
         assert rate_noop == pytest.approx(rate_fwd)
 
     def test_rejects_ambiguous_spec(self):
@@ -88,6 +91,6 @@ class TestPredict:
                        - cal.MINIMAL_FORWARDING.mem_base_bytes) / 64
         lookalike = define_application("rtr2", cycles_per_packet=increment,
                                        extra_memory_lines=extra_lines)
-        ours = max_loss_free_rate(lookalike, 64)
-        paper = max_loss_free_rate(cal.IP_ROUTING, 64)
+        ours = max_loss_free_rate(WorkloadSpec.fixed(64, app=lookalike))
+        paper = max_loss_free_rate(WorkloadSpec.fixed(64, app=cal.IP_ROUTING))
         assert ours.rate_gbps == pytest.approx(paper.rate_gbps, rel=0.01)

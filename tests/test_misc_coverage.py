@@ -27,10 +27,11 @@ class TestGraphAddAll:
 class TestSaturationThroughput:
     def test_matches_max_loss_free_rate(self):
         from repro.perfmodel import max_loss_free_rate
-        direct = max_loss_free_rate(cal.IP_ROUTING,
-                                    cal.ABILENE_MEAN_PACKET_BYTES)
-        wrapped = saturation_throughput(cal.IP_ROUTING,
-                                        cal.ABILENE_MEAN_PACKET_BYTES)
+        from repro.workloads import WorkloadSpec
+        spec = WorkloadSpec.fixed(cal.ABILENE_MEAN_PACKET_BYTES,
+                                  app=cal.IP_ROUTING)
+        direct = max_loss_free_rate(spec)
+        wrapped = saturation_throughput(spec)
         assert wrapped.rate_bps == pytest.approx(direct.rate_bps)
 
 

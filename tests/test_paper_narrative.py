@@ -14,6 +14,7 @@ from repro.core.provision import max_mesh_ports, servers_required
 from repro.core.topology import switched_cluster_equivalent_servers
 from repro.perfmodel import max_loss_free_rate
 from repro.perfmodel.scenarios import SCENARIOS, fig7_configurations
+from repro.workloads import WorkloadSpec
 
 
 class TestSection3_AcrossServers:
@@ -46,30 +47,34 @@ class TestSection5_ServerEvaluation:
         # All apps CPU-bound at 64B: the paper's alignment argument --
         # router workloads now scale with Moore's law like everything else.
         for app in cal.APPLICATIONS.values():
-            assert max_loss_free_rate(app, 64).bottleneck == "cpu"
+            assert max_loss_free_rate(
+                WorkloadSpec.fixed(64, app=app)).bottleneck == "cpu"
         # And indeed the 4x-CPU next-gen projection delivers ~4x for the
         # purely CPU-bound workloads.
         from repro.perfmodel import project_rates
         projections = project_rates()
         assert projections["forwarding"].rate_gbps \
-            / max_loss_free_rate(cal.MINIMAL_FORWARDING, 64).rate_gbps \
+            / max_loss_free_rate(WorkloadSpec.fixed(
+                64, app=cal.MINIMAL_FORWARDING)).rate_gbps \
             == pytest.approx(4.0, rel=0.02)
 
 
 class TestSection6_RB4:
     def test_rb4_headlines(self):
         rb4 = RouteBricksRouter()
-        assert rb4.max_throughput(64).aggregate_gbps == pytest.approx(
+        assert rb4.max_throughput(
+            WorkloadSpec.fixed(64)).aggregate_gbps == pytest.approx(
             12.0, rel=0.02)
-        assert rb4.max_throughput(740).aggregate_gbps == pytest.approx(
+        assert rb4.max_throughput(
+            WorkloadSpec.fixed(740)).aggregate_gbps == pytest.approx(
             35.0, rel=0.02)
 
     def test_commendable_vs_worst_case_gap(self):
         # The paper's bottom line: great on realistic traffic, short of
         # line rate on worst-case 64B -- quantified.
         rb4 = RouteBricksRouter()
-        abilene = rb4.max_throughput(740)
-        worst = rb4.max_throughput(64)
+        abilene = rb4.max_throughput(WorkloadSpec.fixed(740))
+        worst = rb4.max_throughput(WorkloadSpec.fixed(64))
         assert abilene.per_port_bps / 10e9 > 0.85   # close to line rate
         assert worst.per_port_bps / 10e9 < 0.5      # the remaining gap
 

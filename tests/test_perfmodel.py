@@ -23,55 +23,63 @@ from repro.perfmodel.batching import (
 )
 from repro.perfmodel.bounds import stream_benchmark_bps
 from repro.perfmodel.scenarios import fig7_configurations
+from repro.workloads import WorkloadSpec
 
 
 class TestThroughputSolver:
     @pytest.mark.parametrize("app,paper_gbps", [
         ("forwarding", 9.77), ("routing", 6.35), ("ipsec", 1.40)])
     def test_fig8_64b_rates(self, app, paper_gbps):
-        result = max_loss_free_rate(cal.APPLICATIONS[app], 64)
+        result = max_loss_free_rate(
+            WorkloadSpec.fixed(64, app=cal.APPLICATIONS[app]))
         assert result.rate_gbps == pytest.approx(paper_gbps, rel=0.01)
         assert result.bottleneck == "cpu"
 
     def test_fig8_abilene_nic_limited(self):
         for app in ("forwarding", "routing"):
-            result = max_loss_free_rate(cal.APPLICATIONS[app],
-                                        cal.ABILENE_MEAN_PACKET_BYTES)
+            result = max_loss_free_rate(WorkloadSpec.fixed(
+                cal.ABILENE_MEAN_PACKET_BYTES, app=cal.APPLICATIONS[app]))
             assert result.rate_gbps == pytest.approx(24.6, rel=0.01)
             assert result.bottleneck == "nic"
 
     def test_fig8_abilene_ipsec(self):
-        result = max_loss_free_rate(cal.IPSEC, cal.ABILENE_MEAN_PACKET_BYTES)
+        result = max_loss_free_rate(
+            WorkloadSpec.fixed(cal.ABILENE_MEAN_PACKET_BYTES, app=cal.IPSEC))
         assert result.rate_gbps == pytest.approx(4.45, rel=0.01)
         assert result.bottleneck == "cpu"
 
     def test_large_packets_nic_limited(self):
-        result = max_loss_free_rate(cal.MINIMAL_FORWARDING, 1024)
+        result = max_loss_free_rate(
+            WorkloadSpec.fixed(1024, app=cal.MINIMAL_FORWARDING))
         assert result.bottleneck == "nic"
         assert result.rate_gbps == pytest.approx(24.6, rel=0.01)
 
     def test_rate_monotone_in_packet_size(self):
-        rates = [max_loss_free_rate(cal.MINIMAL_FORWARDING, p).rate_bps
+        rates = [max_loss_free_rate(
+            WorkloadSpec.fixed(p, app=cal.MINIMAL_FORWARDING)).rate_bps
                  for p in (64, 128, 256, 512, 1024)]
         assert rates == sorted(rates)
 
     def test_pps_monotone_decreasing_in_packet_size(self):
-        pps = [max_loss_free_rate(cal.MINIMAL_FORWARDING, p).rate_pps
+        pps = [max_loss_free_rate(
+            WorkloadSpec.fixed(p, app=cal.MINIMAL_FORWARDING)).rate_pps
                for p in (64, 128, 256, 512, 1024)]
         assert pps == sorted(pps, reverse=True)
 
     def test_unlimited_nic_exceeds_limited(self):
-        limited = max_loss_free_rate(cal.MINIMAL_FORWARDING, 1024)
-        free = max_loss_free_rate(cal.MINIMAL_FORWARDING, 1024,
-                                  nic_limited=False)
+        spec_1024 = WorkloadSpec.fixed(1024, app=cal.MINIMAL_FORWARDING)
+        limited = max_loss_free_rate(spec_1024)
+        free = max_loss_free_rate(spec_1024, nic_limited=False)
         assert free.rate_bps > limited.rate_bps
 
     def test_invalid_packet_size(self):
         with pytest.raises(ConfigurationError):
-            max_loss_free_rate(cal.MINIMAL_FORWARDING, 0)
+            max_loss_free_rate(
+                WorkloadSpec.fixed(0, app=cal.MINIMAL_FORWARDING))
 
     def test_utilization_at_bottleneck_is_one(self):
-        result = max_loss_free_rate(cal.MINIMAL_FORWARDING, 64)
+        result = max_loss_free_rate(
+            WorkloadSpec.fixed(64, app=cal.MINIMAL_FORWARDING))
         utils = result.utilization_at(result.rate_pps)
         assert utils[result.bottleneck] == pytest.approx(1.0)
         assert all(u <= 1.0 + 1e-9 for u in utils.values())
@@ -250,8 +258,8 @@ class TestLoads:
         assert doubled.cpu_cycles == pytest.approx(2 * loads.cpu_cycles)
 
     def test_next_gen_spec_has_higher_cpu_limit(self):
-        small = max_loss_free_rate(cal.MINIMAL_FORWARDING, 64,
-                                   nic_limited=False)
-        big = max_loss_free_rate(cal.MINIMAL_FORWARDING, 64,
-                                 spec=NEHALEM_NEXT_GEN, nic_limited=False)
+        spec_64 = WorkloadSpec.fixed(64, app=cal.MINIMAL_FORWARDING)
+        small = max_loss_free_rate(spec_64, nic_limited=False)
+        big = max_loss_free_rate(spec_64, spec=NEHALEM_NEXT_GEN,
+                                 nic_limited=False)
         assert big.rate_bps > 3 * small.rate_bps

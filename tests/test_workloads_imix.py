@@ -62,8 +62,11 @@ class TestImixRates:
         imix = imix_rate_gbps("forwarding", "simple")
         from repro import calibration as cal
         from repro.perfmodel import max_loss_free_rate
-        small = max_loss_free_rate(cal.MINIMAL_FORWARDING, 64).rate_gbps
-        large = max_loss_free_rate(cal.MINIMAL_FORWARDING, 1500).rate_gbps
+        from repro.workloads import WorkloadSpec
+        small = max_loss_free_rate(WorkloadSpec.fixed(
+            64, app=cal.MINIMAL_FORWARDING)).rate_gbps
+        large = max_loss_free_rate(WorkloadSpec.fixed(
+            1500, app=cal.MINIMAL_FORWARDING)).rate_gbps
         assert small < imix < large
 
     def test_minimum_mix_equals_64b(self):
