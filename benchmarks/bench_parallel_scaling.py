@@ -1,0 +1,123 @@
+"""Parallel DES scaling: sharding the cluster across worker partitions.
+
+RouteBricks' thesis is that a router scales by adding servers; the
+reproduction's analogue is that the *simulation* scales by adding
+partitions.  This benchmark shards an RB8 cluster across 1/2/4
+partitions and reports the critical-path event rate -- total events
+divided by the busiest partition's CPU seconds -- which is what bounds
+wall-clock time on a machine with enough cores.  CPU time (not wall
+time) keeps the figure honest on shared or single-core CI runners,
+where the partitions time-slice one core.
+
+The companion correctness claim (delivered/drop/latency scalars are
+bit-identical at every worker count) is enforced here on RB4 as well as
+in tests/test_parallel.py.
+"""
+
+import time
+
+from repro.analysis import format_table
+from repro.core import RouteBricksRouter
+from repro.parallel import simulate_parallel
+from repro.workloads import WorkloadSpec
+from repro.workloads.matrices import uniform_matrix
+
+NODES = 8
+SEED = 20090917
+DURATION = 6e-4
+LOAD = 0.5
+WORKER_SWEEP = (1, 2, 4)
+
+
+def _cluster(nodes=NODES):
+    router = RouteBricksRouter(num_nodes=nodes, seed=SEED)
+    workload = WorkloadSpec.fixed(64).with_matrix(
+        uniform_matrix(nodes, router.port_rate_bps * LOAD))
+    return router, workload
+
+
+def _run(workers, nodes=NODES):
+    router, workload = _cluster(nodes)
+    start = time.process_time()
+    report = simulate_parallel(router, workload, until=DURATION,
+                               workers=workers, backend="inline")
+    cpu = time.process_time() - start
+    # Critical path: the busiest partition bounds a parallel run.  The
+    # single-heap run (workers=1) has one partition: its whole CPU time.
+    busy = max(report.partition_busy_seconds) \
+        if report.partition_busy_seconds else cpu
+    return report, busy, cpu
+
+
+def test_rb8_worker_sweep(benchmark, save_result):
+    def sweep():
+        rows = []
+        base_rate = None
+        base_delivered = None
+        for workers in WORKER_SWEEP:
+            report, busy, cpu = _run(workers)
+            rate = report.events_run / busy
+            if base_rate is None:
+                base_rate = rate
+                base_delivered = (report.delivered_packets,
+                                  report.dropped_packets,
+                                  report.delivered_bytes)
+            # Sharding must not change what the cluster computes.
+            assert (report.delivered_packets, report.dropped_packets,
+                    report.delivered_bytes) == base_delivered
+            rows.append({
+                "workers": workers,
+                "events": report.events_run,
+                "epochs": report.epochs,
+                "events_per_sec": rate,
+                "wall_events_per_sec": report.events_run / cpu,
+                "speedup": rate / base_rate,
+                "goodput_gbps": report.delivered_bps / 1e9,
+            })
+        # Flat per-worker keys so the BENCH artifact records each
+        # sharding's rate by name, not just the sweep average.
+        summary = {}
+        for row in rows:
+            w = row["workers"]
+            summary["w%d_events_per_sec" % w] = row["events_per_sec"]
+            summary["w%d_speedup" % w] = row["speedup"]
+        return {"rows": rows, "summary": summary}
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = result["rows"]
+    save_result("parallel_scaling", format_table(
+        rows, ["workers", "events", "epochs", "events_per_sec",
+               "speedup", "goodput_gbps"],
+        title="RB8 partitioned DES, critical-path event rate"))
+    by_workers = {row["workers"]: row for row in rows}
+    # The acceptance bar: 4 partitions buy at least 2x the single-heap
+    # critical-path rate (per-partition event counts quarter; epoch
+    # overhead eats some of it).
+    assert by_workers[4]["speedup"] >= 2.0
+    assert by_workers[2]["speedup"] >= 1.2
+    for row in rows:
+        assert row["goodput_gbps"] == rows[0]["goodput_gbps"]
+
+
+def test_rb4_cross_worker_equality(benchmark):
+    """RB4 report scalars are identical at every worker count."""
+
+    def sweep():
+        results = []
+        for workers in (1, 2, 4):
+            report, _, _ = _run(workers, nodes=4)
+            results.append({
+                "shards": workers,
+                "delivered": report.delivered_packets,
+                "dropped": report.dropped_packets,
+                "events": report.events_run,
+                "latency_p99_usec": report.latency_usec.percentile(99),
+            })
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    first = results[0]
+    for row in results[1:]:
+        for key in ("delivered", "dropped", "events", "latency_p99_usec"):
+            assert row[key] == first[key], \
+                "workers=%d diverged on %s" % (row["shards"], key)

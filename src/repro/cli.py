@@ -311,6 +311,52 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_parallel(args) -> int:
+    import re
+
+    from .core import RouteBricksRouter
+    from .errors import ReproError
+    from .parallel import simulate_parallel
+    from .workloads import WorkloadSpec
+    from .workloads.matrices import uniform_matrix
+
+    match = re.fullmatch(r"rb(\d+)", args.topology.lower())
+    if not match:
+        print("error: topology must look like rb4/rb8/rb32, got %r"
+              % args.topology, file=sys.stderr)
+        return 2
+    nodes = int(match.group(1))
+    duration = args.duration_ms * 1e-3
+    router = RouteBricksRouter(num_nodes=nodes, seed=args.seed)
+    workload = WorkloadSpec.fixed(args.size).with_matrix(
+        uniform_matrix(nodes, router.port_rate_bps * args.load))
+    try:
+        report = simulate_parallel(
+            router, workload, until=duration, workers=args.workers,
+            backend=args.backend)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    print("cluster: %d nodes across %d worker(s) [%s backend], "
+          "%g%% uniform load of %d B frames"
+          % (nodes, report.workers, args.backend, args.load * 100,
+             args.size))
+    print("offered %d, delivered %d, dropped %d (delivery %.1f%%)"
+          % (report.offered_packets, report.delivered_packets,
+             report.dropped_packets, report.delivery_ratio * 100))
+    print("goodput: %.2f Gbps over %.2f ms; reordered %.4f%%"
+          % (report.delivered_bps / 1e9, report.duration_sec * 1e3,
+             report.reordered_fraction * 100))
+    busy = max(report.partition_busy_seconds or [0.0])
+    if busy > 0:
+        print("engine: %d events in %d epochs; critical-path %.0f events/s"
+              % (report.events_run, report.epochs,
+                 report.events_run / busy))
+    else:
+        print("engine: %d events (single-heap run)" % report.events_run)
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from .workloads.abilene import AbileneTrace
     from .workloads.pcapio import save_trace
@@ -576,6 +622,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run: peer/control failure-detection latency")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser("parallel",
+                       help="partitioned cluster DES across worker "
+                            "processes (conservative lookahead)")
+    p.add_argument("action", choices=["run"])
+    p.add_argument("topology", nargs="?", default="rb4",
+                   help="cluster size as rbN (default rb4)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="partitions / worker processes (1 = single-heap)")
+    p.add_argument("--backend", choices=["inline", "process"],
+                   default="process",
+                   help="inline: all partitions in this process; "
+                        "process: one worker process per partition")
+    p.add_argument("--size", type=int, default=64, help="frame bytes")
+    p.add_argument("--load", type=float, default=0.3,
+                   help="offered load as a fraction of port rate")
+    p.add_argument("--duration-ms", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_parallel)
 
     p = sub.add_parser("trace", help="generate/inspect pcap traces")
     p.add_argument("action", choices=["generate", "info"])

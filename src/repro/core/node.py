@@ -205,7 +205,8 @@ class ClusterNode:
             packet.annotations["hop_t"] = self.sim.now
             packet.annotations["prof_t"] = self.sim.now
             self._tracer.maybe_start(packet, self.sim.now,
-                                     "node%d.input" % self.node_id)
+                                     "node%d.input" % self.node_id,
+                                     key=self.node_id)
         encode_output_node(packet, egress_node, max_nodes=max(
             self.num_nodes, 1))
         delay = usec(server_latency_usec("input"))
@@ -242,6 +243,22 @@ class ClusterNode:
                                   % (self.node_id, next_hop))
         if not link.send(packet):
             self._count_drop("link_overflow")
+
+    def receive_wire(self, wire) -> None:
+        """A packet arrives from another partition as a transit record.
+
+        Decodes the compact :meth:`~repro.net.packet.Packet.to_wire`
+        tuple, re-registers any in-flight path trace with the local
+        sampler (so downstream hops keep appending to the same object and
+        a later merge can stitch the full path back together), then takes
+        the normal internal-receive path.
+        """
+        packet = Packet.from_wire(wire)
+        if self.obs is not None:
+            trace = packet.annotations.get(TRACE_ANNOTATION)
+            if trace is not None:
+                self._tracer.resume(trace)
+        self.receive_internal(packet)
 
     def receive_internal(self, packet: Packet) -> None:
         """A packet arrives on an internal link."""

@@ -83,6 +83,16 @@ class ReorderingMeter:
                     in_reordered_run = True
         return runs
 
+    def reordered_count(self) -> int:
+        """Total reordered sequences across every observed flow.
+
+        Flows are keyed by five-tuple and observed at their egress node,
+        so a partitioned run's per-partition meters see disjoint flow
+        sets -- summing their counts reproduces the global figure.
+        """
+        return sum(self.reordered_sequences(seqs)
+                   for seqs in self._egress_order.values())
+
     def reordered_fraction(self) -> float:
         """Reordered sequences per same-flow packet sequence observed.
 
@@ -92,17 +102,13 @@ class ReorderingMeter:
         the Sec. 6.2 numbers.  :meth:`reordered_run_fraction` provides the
         alternative run-based normalization.
         """
-        reordered = sum(self.reordered_sequences(seqs)
-                        for seqs in self._egress_order.values())
         total = self.packets_observed()
-        return reordered / total if total else 0.0
+        return self.reordered_count() / total if total else 0.0
 
     def reordered_run_fraction(self) -> float:
         """Reordered runs over all maximal same-flow runs (stricter)."""
-        reordered = sum(self.reordered_sequences(seqs)
-                        for seqs in self._egress_order.values())
         total = self.total_sequences()
-        return reordered / total if total else 0.0
+        return self.reordered_count() / total if total else 0.0
 
     def packets_observed(self) -> int:
         return sum(len(seqs) for seqs in self._egress_order.values())

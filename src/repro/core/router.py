@@ -28,6 +28,7 @@ from ..perfmodel.loads import DEFAULT_CONFIG, ServerConfig
 from ..results import RunResult
 from ..simnet.engine import Simulator
 from ..simnet.links import Link
+from ..simnet.rng import node_seeds
 from ..simnet.stats import Histogram
 from ..units import gbps, rate_pps_to_bps, to_usec
 from .node import ClusterNode
@@ -82,6 +83,17 @@ class SimulationReport(RunResult):
     fault_events: int = 0
     fault_flushed_packets: int = 0
     convergence: List = field(default_factory=list)
+    #: How the run was executed (filled in by repro.parallel): number of
+    #: worker partitions, conservative-lookahead epochs, and total DES
+    #: events across all partitions.  A single-sim run reports workers=1
+    #: and epochs=0.
+    workers: int = 1
+    epochs: int = 0
+    events_run: int = 0
+    #: CPU seconds each partition spent advancing its event loop
+    #: (index = partition id).  ``max`` of this list is the parallel
+    #: critical path; empty for single-sim runs.
+    partition_busy_seconds: List[float] = field(default_factory=list)
 
     @property
     def delivery_ratio(self) -> float:
@@ -113,9 +125,12 @@ class RouteBricksRouter:
                  resequence_timeout_sec: float = 1e-3,
                  nic_effective_bps: float = RB4_NIC_EFFECTIVE_BPS,
                  link_busy_threshold_sec: float = 50e-6,
-                 seed: int = 0):
+                 seed: int = 0,
+                 propagation_sec: float = 1e-6):
         if num_nodes < 2:
             raise ConfigurationError("cluster needs >= 2 nodes")
+        if propagation_sec <= 0:
+            raise ConfigurationError("propagation delay must be positive")
         self.num_nodes = num_nodes
         self.port_rate_bps = port_rate_bps
         self.internal_link_bps = internal_link_bps
@@ -127,6 +142,11 @@ class RouteBricksRouter:
         self.nic_effective_bps = nic_effective_bps
         self.link_busy_threshold_sec = link_busy_threshold_sec
         self.seed = seed
+        #: Cable propagation delay on every internal link; it is also the
+        #: conservative-lookahead window of a partitioned run (see
+        #: :mod:`repro.parallel`), since cross-partition packets cannot
+        #: arrive sooner than this after leaving their source.
+        self.propagation_sec = propagation_sec
 
     # -- analytic model ------------------------------------------------------
 
@@ -216,9 +236,9 @@ class RouteBricksRouter:
         and link-occupancy instrumentation.
         """
         sim = Simulator(metrics=metrics)
-        rng = random.Random(self.seed)
+        seeds = node_seeds(self.seed, self.num_nodes)
         nodes = [ClusterNode(node_id=i, sim=sim, num_nodes=self.num_nodes,
-                             rng=random.Random(rng.getrandbits(32)),
+                             rng=random.Random(seeds[i]),
                              use_flowlets=self.use_flowlets,
                              link_busy_threshold_sec=self.link_busy_threshold_sec,
                              metrics=metrics)
@@ -230,7 +250,8 @@ class RouteBricksRouter:
                 link = Link(sim,
                             name="link-%d-%d" % (src.node_id, dst.node_id),
                             rate_bps=self.internal_link_bps,
-                            deliver=dst.receive_internal)
+                            deliver=dst.receive_internal,
+                            propagation_sec=self.propagation_sec)
                 src.connect(dst.node_id, link)
         if rate_limited_egress:
             for node in nodes:
@@ -404,6 +425,7 @@ class RouteBricksRouter:
         report.dropped_packets = sum(node.dropped for node in nodes)
         report.reordered_fraction = meter.reordered_fraction()
         report.duration_sec = sim.now
+        report.events_run = sim.events_run
         if injector is not None:
             report.fault_events = injector.log.events_applied
             report.fault_flushed_packets = injector.log.flushed_packets

@@ -220,3 +220,26 @@ class ClosReference:
 def switched_cluster_equivalent_servers(num_ports: int) -> int:
     """Convenience wrapper used by the Fig. 3 bench."""
     return ClosReference(num_ports).equivalent_servers()
+
+
+def balanced_partitions(num_nodes: int, num_partitions: int) -> List[int]:
+    """Assign cluster nodes to simulation partitions, contiguously.
+
+    Returns ``assignment[node_id] -> partition_id`` with partition sizes
+    differing by at most one and node ids contiguous per partition (node
+    0 in partition 0).  Contiguity keeps the mapping stable and obvious
+    in reports; in a full mesh with uniform traffic any balanced split
+    yields the same cross-partition load, so nothing fancier is needed.
+    """
+    if num_nodes < 1:
+        raise TopologyError("need >= 1 node to partition")
+    if not 1 <= num_partitions <= num_nodes:
+        raise TopologyError(
+            "partition count must be in [1, %d], got %r"
+            % (num_nodes, num_partitions))
+    base, extra = divmod(num_nodes, num_partitions)
+    assignment: List[int] = []
+    for pid in range(num_partitions):
+        size = base + (1 if pid < extra else 0)
+        assignment.extend([pid] * size)
+    return assignment

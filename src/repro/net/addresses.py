@@ -38,6 +38,12 @@ class IPv4Address:
     def __setattr__(self, name, value):
         raise AttributeError("IPv4Address is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks pickle's default slot-state
+        # restore (it calls the overridden __setattr__); rebuild through
+        # the constructor instead.
+        return (IPv4Address, (self.value,))
+
     def __int__(self):
         return self.value
 
@@ -125,6 +131,9 @@ class MACAddress:
     def __setattr__(self, name, value):
         raise AttributeError("MACAddress is immutable")
 
+    def __reduce__(self):
+        return (MACAddress, (self.value,))
+
     def __int__(self):
         return self.value
 
@@ -201,6 +210,9 @@ class Prefix:
 
     def __setattr__(self, name, value):
         raise AttributeError("Prefix is immutable")
+
+    def __reduce__(self):
+        return (Prefix, (self.network.value, self.length))
 
     @classmethod
     def parse(cls, text: str) -> "Prefix":

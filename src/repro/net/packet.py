@@ -27,8 +27,20 @@ from .headers import (
     TCPHeader,
     UDPHeader,
 )
+from .addresses import MACAddress
 
 _packet_ids = itertools.count()
+
+#: Cluster MACs encode a node id in the low byte, so a simulation only
+#: ever sees a handful of distinct values -- worth interning on decode.
+_mac_cache = {}
+
+
+def _mac(value: int) -> MACAddress:
+    mac = _mac_cache.get(value)
+    if mac is None:
+        mac = _mac_cache[value] = MACAddress(value)
+    return mac
 
 
 class Packet:
@@ -175,6 +187,93 @@ class Packet:
                        l4=self.l4, payload=self.payload)
         clone.flow_seq = self.flow_seq
         return clone
+
+    # -- wire encoding (partition boundaries) ------------------------------
+
+    def to_wire(self):
+        """Encode the packet as a compact picklable tuple.
+
+        This is the hot-path encoding used when a packet crosses a
+        partition boundary in the parallel DES runner: headers collapse to
+        plain ints so the record pickles without touching the address
+        types, and :meth:`from_wire` restores the packet *losslessly* --
+        including ``packet_id`` (no new id is drawn).
+        """
+        ip = self.ip
+        l4 = self.l4
+        if l4 is None:
+            l4w = None
+        elif type(l4) is UDPHeader:
+            l4w = (0, l4.src_port, l4.dst_port, l4.length, l4.checksum)
+        elif type(l4) is TCPHeader:
+            l4w = (1, l4.src_port, l4.dst_port, l4.seq, l4.ack, l4.flags,
+                   l4.window, l4.checksum, l4.urgent)
+        else:
+            l4w = (2, l4)  # uncommon header types ride as objects
+        return (
+            self.packet_id, self.length,
+            self.eth.dst.value, self.eth.src.value, self.eth.ethertype,
+            None if ip is None else (
+                ip.src.value, ip.dst.value, ip.ttl, ip.proto,
+                ip.total_length, ip.identification, ip.dscp, ip.flags,
+                ip.fragment_offset, ip.checksum),
+            l4w, self.payload, self.flow_seq,
+            self.ingress_node, self.egress_node, tuple(self.path),
+            self.arrival_time, self.departure_time,
+            dict(self.annotations) if self.annotations else None,
+        )
+
+    @classmethod
+    def from_wire(cls, wire) -> "Packet":
+        """Rebuild a packet encoded by :meth:`to_wire`.
+
+        Restores the original ``packet_id`` without consuming a fresh one,
+        so decoding on a receiving partition cannot perturb packet
+        identity.
+        """
+        (packet_id, length, eth_dst, eth_src, ethertype, ipw, l4w, payload,
+         flow_seq, ingress_node, egress_node, path, arrival_time,
+         departure_time, annotations) = wire
+        packet = object.__new__(cls)
+        packet.packet_id = packet_id
+        packet.length = length
+        packet.eth = EthernetHeader(dst=_mac(eth_dst), src=_mac(eth_src),
+                                    ethertype=ethertype)
+        if ipw is None:
+            packet.ip = None
+        else:
+            packet.ip = IPv4Header(
+                src=IPv4Address(ipw[0]), dst=IPv4Address(ipw[1]), ttl=ipw[2],
+                proto=ipw[3], total_length=ipw[4], identification=ipw[5],
+                dscp=ipw[6], flags=ipw[7], fragment_offset=ipw[8],
+                checksum=ipw[9])
+        if l4w is None:
+            packet.l4 = None
+        elif l4w[0] == 0:
+            packet.l4 = UDPHeader(src_port=l4w[1], dst_port=l4w[2],
+                                  length=l4w[3], checksum=l4w[4])
+        elif l4w[0] == 1:
+            packet.l4 = TCPHeader(src_port=l4w[1], dst_port=l4w[2],
+                                  seq=l4w[3], ack=l4w[4], flags=l4w[5],
+                                  window=l4w[6], checksum=l4w[7],
+                                  urgent=l4w[8])
+        else:
+            packet.l4 = l4w[1]
+        packet.payload = payload
+        packet.flow_seq = flow_seq
+        packet.ingress_node = ingress_node
+        packet.egress_node = egress_node
+        packet.path = list(path)
+        packet.arrival_time = arrival_time
+        packet.departure_time = departure_time
+        packet.annotations = dict(annotations) if annotations else {}
+        return packet
+
+    def __reduce__(self):
+        # Route pickle through the wire encoding: one lossless code path
+        # for both serialization mechanisms, and unpickling never draws a
+        # fresh packet id.
+        return (Packet.from_wire, (self.to_wire(),))
 
     def __repr__(self):
         if self.ip is not None:

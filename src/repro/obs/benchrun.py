@@ -61,10 +61,16 @@ QUICK_BENCHMARKS = (
     "fig7_aggregate",
     "fig3_topology",
     "timed_server",
+    "parallel_scaling",
 )
 
 #: Numeric dict keys harvested as rate scalars.
 _RATE_KEY_HINTS = ("gbps", "mpps", "mbps", "pps", "rate")
+#: Numeric dict keys harvested as kind="perf" scalars: engine-speed
+#: figures (events/s, parallel speedup, worker counts) that the
+#: regression checker surfaces but never gates on -- they track the
+#: machine as much as the code.
+_PERF_KEY_HINTS = ("events_per_sec", "speedup", "workers")
 #: String dict keys recorded verbatim (e.g. which resource binds).
 _LABEL_KEY_HINTS = ("binding", "bottleneck")
 
@@ -202,10 +208,13 @@ def _harvest(value: Any, sink: Dict[str, Any], depth: int = 0) -> None:
         for key, item in value.items():
             if isinstance(key, str):
                 lowered = key.lower()
-                if isinstance(item, (int, float)) \
-                        and not isinstance(item, bool) \
-                        and math.isfinite(item) \
-                        and any(h in lowered for h in _RATE_KEY_HINTS):
+                numeric = (isinstance(item, (int, float))
+                           and not isinstance(item, bool)
+                           and math.isfinite(item))
+                if numeric and any(h in lowered for h in _PERF_KEY_HINTS):
+                    sink.setdefault("perf:" + key, []).append(float(item))
+                    continue
+                if numeric and any(h in lowered for h in _RATE_KEY_HINTS):
                     sink.setdefault(key, []).append(float(item))
                     continue
                 if isinstance(item, str) \
@@ -306,6 +315,10 @@ def run_benchmark(name: str, seed: int = DEFAULT_SEED,
                 if key.startswith("label:"):
                     observations.setdefault(key, []).extend(values)
                     continue
+                if key.startswith("perf:"):
+                    scalars["%s.%s" % (test_name, key[len("perf:"):])] = {
+                        "value": statistics.fmean(values), "kind": "perf"}
+                    continue
                 scalars["%s.%s.mean" % (test_name, key)] = {
                     "value": statistics.fmean(values), "kind": "rate"}
                 scalars["%s.%s.min" % (test_name, key)] = {
@@ -314,6 +327,13 @@ def run_benchmark(name: str, seed: int = DEFAULT_SEED,
     counts = _registry_counts(registry)
     for key, value in counts.items():
         scalars["run.%s" % key] = {"value": value, "kind": "count"}
+    # Parallel runs record their partition count in the run_workers gauge
+    # (see repro.parallel.simulate_parallel); surface it so BENCH
+    # artifacts say what sharding produced them.
+    workers_gauge = registry.get("run_workers")
+    if workers_gauge is not None:
+        scalars["run.workers"] = {"value": workers_gauge.value(),
+                                  "kind": "perf"}
 
     wall = time.perf_counter() - wall_start
     scalars["run.wall_time_sec"] = {"value": wall, "kind": "time"}

@@ -36,13 +36,20 @@ class ClusterObserver:
     """
 
     def __init__(self, sim, nodes, metrics: MetricsRegistry,
-                 interval_sec: float):
+                 interval_sec: float, keep_alive=None):
         if interval_sec <= 0:
             raise ValueError("observer interval must be positive")
         self.sim = sim
         self.nodes = nodes
         self.metrics = metrics
         self.interval_sec = interval_sec
+        #: Optional zero-arg callable consulted when the local queue has
+        #: drained: a partitioned run passes one returning True while
+        #: *other* partitions still have pending work, so the sampling
+        #: cadence matches the single-sim observer's (which sees every
+        #: pending event in its one global queue).  None preserves the
+        #: legacy single-sim behavior exactly.
+        self.keep_alive = keep_alive
         self.samples = 0
         self._occupancy = metrics.timeline("link_occupancy",
                                            bin_sec=interval_sec)
@@ -88,7 +95,8 @@ class ClusterObserver:
         # Re-arm only while the simulation has other work: a periodic
         # task that unconditionally re-schedules would keep an
         # open-ended run (``until=None``) alive forever.
-        if self.sim.peek_time() is not None:
+        if self.sim.peek_time() is not None or (
+                self.keep_alive is not None and self.keep_alive()):
             self.sim.schedule(self.interval_sec, self._tick)
 
     def start(self) -> None:

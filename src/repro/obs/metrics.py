@@ -419,6 +419,72 @@ class MetricsRegistry:
         if self.profiler is not None:
             self.profiler.reset()
 
+    # -- cross-worker aggregation ------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's recordings into this one.
+
+        This is the reduction step of the parallel DES runner: each
+        worker records into a private registry and the parent merges them
+        in partition-id order.  Merge semantics per metric kind:
+
+        * counters -- per-series sums;
+        * gauges -- per-series last-writer-wins (series are expected to
+          be disjoint across workers; partition-id order makes a
+          conflict deterministic anyway);
+        * histograms -- reservoir concatenation (summaries sort first,
+          so results depend only on the observed multiset);
+        * timelines -- per-bin cell merge (sum += sum, count += count,
+          max = max), requiring equal bin widths;
+        * traces -- union by packet id, keeping the longest hop list
+          (a resumed downstream copy supersedes its upstream prefix);
+        * profiler frames -- per-path self-time sums.
+
+        Snapshots render every section in sorted order, so a merged
+        snapshot is insensitive to dict insertion order.
+        """
+        for name in sorted(other._metrics):
+            theirs = other._metrics[name]
+            if isinstance(theirs, Counter):
+                mine = self.counter(name, help=theirs.help)
+                for key, value in theirs._series.items():
+                    mine._series[key] = mine._series.get(key, 0.0) + value
+            elif isinstance(theirs, Gauge):
+                mine = self.gauge(name, help=theirs.help)
+                mine._series.update(theirs._series)
+            elif isinstance(theirs, Timeline):
+                mine = self.timeline(name, bin_sec=theirs.bin_sec,
+                                     help=theirs.help)
+                if mine.bin_sec != theirs.bin_sec:
+                    raise ValueError(
+                        "cannot merge timeline %r: bin_sec %g != %g"
+                        % (name, mine.bin_sec, theirs.bin_sec))
+                for key, series in theirs._series.items():
+                    dest = mine._series.get(key)
+                    if dest is None:
+                        dest = mine._series[key] = _TimelineSeries()
+                    for index, cell in series.bins.items():
+                        mcell = dest.bins.get(index)
+                        if mcell is None:
+                            dest.bins[index] = list(cell)
+                        else:
+                            mcell[0] += cell[0]
+                            mcell[1] += cell[1]
+                            if cell[2] > mcell[2]:
+                                mcell[2] = cell[2]
+            elif isinstance(theirs, Histogram):
+                mine = self.histogram(name, help=theirs.help)
+                for key, reservoir in theirs._series.items():
+                    dest = mine._series.get(key)
+                    if dest is None:
+                        dest = mine._series[key] = _Reservoir()
+                    if reservoir.values:
+                        dest.values.extend(reservoir.values)
+                        dest.sorted = False
+        self.tracer.merge(other.tracer)
+        if self.profiler is not None and other.profiler is not None:
+            self.profiler.merge(other.profiler)
+
     def snapshot(self, max_bins: int = 100,
                  max_traces: int = 32) -> dict:
         """A JSON-able dump of everything recorded so far."""

@@ -105,6 +105,17 @@ class SpanProfiler:
 
         return charge
 
+    def merge(self, other: "SpanProfiler") -> None:
+        """Sum another profiler's per-path self values into this one.
+
+        Cluster frames are keyed by node (``node<N>;...``), so partitions
+        contribute disjoint paths and the merge is exact; where paths do
+        collide the charges simply add, same as if both had been booked
+        here.  Paths are visited in sorted order for determinism.
+        """
+        for path in sorted(other._self):
+            self._self[path] = self._self.get(path, 0.0) + other._self[path]
+
     # -- queries -----------------------------------------------------------
 
     def self_value(self, *path: str) -> float:

@@ -99,26 +99,82 @@ class TraceSampler:
         self.max_traces = max_traces
         self.seen = 0
         self.sampled = 0
+        #: Per-entry-point seen counters (see ``maybe_start``'s ``key``).
+        self._seen_by_key: Dict = {}
         self.traces: List[PathTrace] = []
+        #: Traces decoded from transit records (parallel DES): the
+        #: downstream partition keeps the continued copy here -- without
+        #: counting it as seen/sampled -- so a merge can stitch each
+        #: packet's longest hop list back together.
+        self.resumed: Dict[int, PathTrace] = {}
 
     def reset(self) -> None:
         self.seen = 0
         self.sampled = 0
+        self._seen_by_key = {}
         self.traces = []
+        self.resumed = {}
+
+    def resume(self, trace: PathTrace) -> PathTrace:
+        """Adopt a trace that crossed a partition boundary.
+
+        The wire encoding carries the trace (with its hops so far) in the
+        packet annotations; the receiving partition re-registers the
+        decoded copy here and keeps appending hops to it.  Does not touch
+        ``seen``/``sampled`` -- the ingress partition already counted
+        this packet.
+        """
+        self.resumed[trace.packet_id] = trace
+        return trace
+
+    def merge(self, other: "TraceSampler") -> None:
+        """Fold another sampler's traces in (parallel-run reduction).
+
+        Each packet keeps its longest hop list across copies (a resumed
+        downstream copy supersedes the upstream prefix it was forked
+        from); the retained list is rebuilt sorted by (start time, packet
+        id), which reproduces the single-sampler retention order, and
+        re-capped at ``max_traces``.
+        """
+        self.seen += other.seen
+        self.sampled += other.sampled
+        for key, count in other._seen_by_key.items():
+            self._seen_by_key[key] = self._seen_by_key.get(key, 0) + count
+        best = {t.packet_id: t for t in self.traces}
+        candidates = list(other.traces)
+        candidates.extend(other.resumed[pid] for pid in sorted(other.resumed))
+        for trace in candidates:
+            kept = best.get(trace.packet_id)
+            if kept is None or len(trace.hops) > len(kept.hops):
+                best[trace.packet_id] = trace
+        ordered = sorted(best.values(),
+                         key=lambda t: (t.started, t.packet_id))
+        self.traces = ordered[:self.max_traces]
 
     def maybe_start(self, packet, time: float,
-                    site: str = "arrival") -> Optional[PathTrace]:
+                    site: str = "arrival", key=None) -> Optional[PathTrace]:
         """Offer a packet at an entry point; returns its trace if sampled.
 
         Idempotent per packet: a packet already carrying a trace just
         gets a hop appended (re-entry at a second ingress point).
+
+        ``key`` selects a per-entry-point seen counter instead of the
+        shared one.  Cluster nodes pass their node id: a node's local
+        arrival order does not depend on how the cluster is sharded
+        across partitions, so keyed sampling picks the *same* packets at
+        any worker count (the shared counter's order is global and would
+        not).  ``seen`` stays the all-keys total either way.
         """
         annotations: Dict = packet.annotations
         trace = annotations.get(TRACE_ANNOTATION)
         if trace is not None:
             trace.hop(site, time)
             return trace
-        index = self.seen
+        if key is None:
+            index = self.seen
+        else:
+            index = self._seen_by_key.get(key, 0)
+            self._seen_by_key[key] = index + 1
         self.seen += 1
         if index % self.sample_every:
             return None

@@ -1,0 +1,369 @@
+"""Conservative-lookahead epoch loop driving partitioned cluster runs.
+
+:func:`simulate_parallel` shards a
+:class:`~repro.core.router.RouteBricksRouter` cluster across
+``workers`` partitions and runs them in lock-stepped epochs:
+
+1. ``m`` = earliest pending event time across every partition (counting
+   transit records not yet injected);
+2. the epoch ends at ``min(m + W, next observer tick, horizon)`` where
+   ``W`` is the minimum cross-link propagation delay -- any cross-partition
+   send committed during the epoch delivers strictly after it (its
+   delivery time is its send time plus serialization plus at least
+   ``W``), so no partition can receive a message from its past;
+3. every partition advances to the epoch end, producing transit records;
+4. the parent routes the records to their destination partitions, where
+   they are sorted by the full ``(deliver_time, send_time, src_node,
+   seq)`` key and injected as future events before the next epoch.
+
+Epoch boundaries are forced onto the observer's tick grid (computed by
+the same cumulative float addition the in-queue tick chain performs), so
+barrier-sampled partitions observe their links at exactly the timestamps
+the single-sim observer would have used.
+
+Two backends share this loop: ``"inline"`` runs every partition in the
+parent process (records still make a pickle round-trip, so inline and
+process runs execute identically), ``"process"`` gives each partition a
+dedicated worker process that keeps its simulation state alive between
+epochs.  Results merge in partition-id order either way, which makes the
+outcome independent of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from time import process_time
+from typing import List, Optional, Tuple
+
+from ..core.partition import (
+    OBSERVER_BARRIER,
+    OBSERVER_EVENT,
+    ClusterPartition,
+    PartitionFragment,
+    PartitionSpec,
+    merge_fragments,
+    registry_config_of,
+)
+from ..core.router import RouteBricksRouter, SimulationReport
+from ..core.topology import balanced_partitions
+from ..errors import ConfigurationError
+from ..obs.hooks import observer_interval
+from ..obs.metrics import active_registry
+
+BACKENDS = ("inline", "process")
+
+
+def _realize_arrivals(router: RouteBricksRouter, events, until,
+                      assignment: List[int]) \
+        -> Tuple[int, List[List[Tuple[float, int, int, tuple]]]]:
+    """Roll the arrival process once, in the parent.
+
+    Returns (offered count, per-partition arrival lists).  Realizing
+    centrally -- instead of per worker -- keeps the offered traffic, the
+    packet ids, and the flow sequence numbers identical to a single-sim
+    run at any worker count.
+    """
+    from ..workloads.spec import WorkloadSpec
+
+    if isinstance(events, WorkloadSpec):
+        workload = events
+        if workload.matrix is None:
+            raise ConfigurationError(
+                "workload %r has no traffic matrix; use with_matrix()"
+                % workload.name)
+        if workload.matrix.n != router.num_nodes:
+            raise ConfigurationError(
+                "workload matrix is %dx%d but the cluster has %d nodes"
+                % (workload.matrix.n, workload.matrix.n, router.num_nodes))
+        events = workload.events(until)
+    offered = 0
+    partitions = max(assignment) + 1
+    arrivals: List[List[Tuple[float, int, int, tuple]]] = [
+        [] for _ in range(partitions)]
+    for time, ingress, egress, packet in events:
+        if not 0 <= ingress < router.num_nodes:
+            raise ConfigurationError("bad ingress node %r" % ingress)
+        if not 0 <= egress < router.num_nodes:
+            raise ConfigurationError("bad egress node %r" % egress)
+        offered += 1
+        arrivals[assignment[ingress]].append(
+            (time, ingress, egress, packet.to_wire()))
+    return offered, arrivals
+
+
+def _tick_grid(interval: float, horizon: float) -> List[float]:
+    """Observer tick times by cumulative addition -- the exact floats the
+    in-queue tick chain hits (each tick schedules the next at ``now +
+    interval``), not ``k * interval``, which can differ in the last ulp."""
+    ticks = []
+    t = interval
+    while t <= horizon:
+        ticks.append(t)
+        t += interval
+    return ticks
+
+
+# -- worker-process protocol --------------------------------------------------
+#
+# Each partition gets its own single-process pool; the partition object
+# lives in that process's module global between epoch calls.  Everything
+# crossing the boundary (spec, transit records, fragments) is picklable.
+
+_WORKER: Optional[ClusterPartition] = None
+
+
+def _worker_init(spec: PartitionSpec):
+    global _WORKER
+    _WORKER = ClusterPartition(spec)
+    return _WORKER.peek_time(), _WORKER.lookahead_sec
+
+
+def _worker_advance(until: float, records, keep_alive: bool, sample: bool):
+    part = _WORKER
+    part.set_keep_alive(keep_alive)
+    if records:
+        part.inject(records)
+    start = process_time()
+    outbox = part.advance(until)
+    busy = process_time() - start
+    if sample:
+        part.sample_barrier()
+    return outbox, part.peek_time(), busy
+
+
+def _worker_finish() -> PartitionFragment:
+    return _WORKER.finish()
+
+
+class _InlineBackend:
+    """All partitions in the parent process (debugging, determinism
+    tests, and ``workers`` > cores).  Transit records still make a
+    pickle round-trip so execution is bit-identical to the process
+    backend."""
+
+    def __init__(self, specs: List[PartitionSpec]):
+        self.partitions = [ClusterPartition(spec) for spec in specs]
+        self.busy = [0.0] * len(specs)
+
+    def init_state(self):
+        return [(p.peek_time(), p.lookahead_sec) for p in self.partitions]
+
+    def advance_all(self, until, inboxes, keep_alive, sample):
+        out = []
+        for pid, part in enumerate(self.partitions):
+            part.set_keep_alive(keep_alive[pid])
+            records = inboxes[pid]
+            if records:
+                part.inject(pickle.loads(pickle.dumps(records)))
+            start = process_time()
+            outbox = part.advance(until)
+            busy = process_time() - start
+            self.busy[pid] += busy
+            if sample:
+                part.sample_barrier()
+            out.append((outbox, part.peek_time()))
+        return out
+
+    def finish(self) -> List[PartitionFragment]:
+        fragments = []
+        for pid, part in enumerate(self.partitions):
+            frag = part.finish()
+            frag.busy_seconds = self.busy[pid]
+            fragments.append(frag)
+        return fragments
+
+    def close(self):
+        pass
+
+
+class _ProcessBackend:
+    """One dedicated worker process per partition.
+
+    A single-worker pool per partition pins the partition's simulation
+    state to one process across epochs; submissions to different pools
+    run concurrently, which is where the wall-clock speedup comes from
+    on a multi-core host.
+    """
+
+    def __init__(self, specs: List[PartitionSpec]):
+        self.pools = [ProcessPoolExecutor(max_workers=1) for _ in specs]
+        self.specs = specs
+        self.busy = [0.0] * len(specs)
+
+    def init_state(self):
+        futures = [pool.submit(_worker_init, spec)
+                   for pool, spec in zip(self.pools, self.specs)]
+        return [future.result() for future in futures]
+
+    def advance_all(self, until, inboxes, keep_alive, sample):
+        futures = [pool.submit(_worker_advance, until, inboxes[pid],
+                               keep_alive[pid], sample)
+                   for pid, pool in enumerate(self.pools)]
+        out = []
+        for pid, future in enumerate(futures):
+            outbox, peek, busy = future.result()
+            self.busy[pid] += busy
+            out.append((outbox, peek))
+        return out
+
+    def finish(self) -> List[PartitionFragment]:
+        futures = [pool.submit(_worker_finish) for pool in self.pools]
+        fragments = []
+        for pid, future in enumerate(futures):
+            frag = future.result()
+            frag.busy_seconds = self.busy[pid]
+            fragments.append(frag)
+        return fragments
+
+    def close(self):
+        for pool in self.pools:
+            pool.shutdown()
+
+
+def simulate_parallel(router: RouteBricksRouter,
+                      events,
+                      until: float,
+                      workers: int = 1,
+                      backend: str = "process",
+                      rate_limited_egress: bool = False,
+                      failed_links=(),
+                      faults=None,
+                      manager=None,
+                      detection_latency_sec: Optional[float] = None,
+                      fib_push_latency_sec: float = 0.0,
+                      metrics=None) -> SimulationReport:
+    """Run :meth:`RouteBricksRouter.simulate`'s workload sharded across
+    ``workers`` partitions under conservative lookahead.
+
+    ``workers=1`` delegates to the single-heap engine unchanged (and so
+    still supports a cluster manager and resequencing).  For ``workers >
+    1`` the cluster is split into contiguous balanced node ranges; a
+    fault schedule is applied partition-locally with owner-side
+    accounting, but a control-plane ``manager`` (a global observer) and
+    ``router.resequence`` (whose expiry chain rides the global queue)
+    are not supported -- use ``workers=1`` for those.
+
+    Fault-free runs merge to bit-identical reports and metric snapshots
+    at any worker count (modulo the wall-clock ``engine_wall_seconds``
+    counter); see ``tests/test_parallel.py`` for the enforced guarantee.
+    """
+    if until is None or until <= 0:
+        raise ConfigurationError(
+            "parallel simulation needs a positive horizon (until=...)")
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            "unknown backend %r (choose from %s)" % (backend,
+                                                     ", ".join(BACKENDS)))
+    if workers == 1:
+        report = router.simulate(
+            events, until=until,
+            rate_limited_egress=rate_limited_egress,
+            failed_links=failed_links, faults=faults, manager=manager,
+            detection_latency_sec=detection_latency_sec,
+            fib_push_latency_sec=fib_push_latency_sec, metrics=metrics)
+        report.workers = 1
+        return report
+    if manager is not None:
+        raise ConfigurationError(
+            "a cluster manager needs the global view; run workers=1")
+    if router.resequence:
+        raise ConfigurationError(
+            "resequencing timers ride the global event queue; run workers=1")
+
+    registry = metrics if metrics is not None else active_registry()
+    assignment = balanced_partitions(router.num_nodes, workers)
+    for src, dst in failed_links:
+        if not (0 <= src < router.num_nodes and 0 <= dst < router.num_nodes):
+            raise ConfigurationError("bad failed link (%r, %r)" % (src, dst))
+    if faults is not None:
+        from ..faults.schedule import FaultSchedule
+        if not isinstance(faults, FaultSchedule):
+            faults = FaultSchedule.from_dict(faults)
+        faults.validate(router.num_nodes)
+    offered, arrivals = _realize_arrivals(router, events, until, assignment)
+
+    interval = observer_interval(until)
+    observe = registry.enabled
+    config = registry_config_of(registry)
+    specs = [PartitionSpec(
+        router=router,
+        assignment=tuple(assignment),
+        partition_id=pid,
+        rate_limited_egress=rate_limited_egress,
+        failed_links=tuple(tuple(pair) for pair in failed_links),
+        faults=faults,
+        detection_latency_sec=detection_latency_sec,
+        fib_push_latency_sec=fib_push_latency_sec,
+        arrivals=tuple(arrivals[pid]),
+        observer_mode=((OBSERVER_EVENT if pid == 0 else OBSERVER_BARRIER)
+                       if observe else None),
+        observer_interval_sec=interval,
+        registry_config=config,
+    ) for pid in range(workers)]
+
+    driver = (_InlineBackend(specs) if backend == "inline"
+              else _ProcessBackend(specs))
+    try:
+        state = driver.init_state()
+        peeks: List[Optional[float]] = [peek for peek, _ in state]
+        lookaheads = [la for _, la in state if la is not None]
+        if not lookaheads:
+            raise ConfigurationError(
+                "no cross-partition links: nothing to parallelize")
+        window = min(lookaheads)
+        ticks = _tick_grid(interval, until) if observe else []
+        next_tick = 0
+        inboxes: List[List] = [[] for _ in range(workers)]
+        epochs = 0
+        while True:
+            candidates = [peek for peek in peeks if peek is not None]
+            candidates.extend(record.deliver_time
+                              for inbox in inboxes for record in inbox)
+            if not candidates:
+                break
+            earliest = min(candidates)
+            if earliest > until:
+                break
+            epoch_end = min(earliest + window, until)
+            sample = False
+            if next_tick < len(ticks) and ticks[next_tick] <= epoch_end:
+                epoch_end = ticks[next_tick]
+                sample = True
+                next_tick += 1
+            keep_alive = [
+                any(peeks[q] is not None for q in range(workers) if q != pid)
+                or any(inboxes[q] for q in range(workers) if q != pid)
+                for pid in range(workers)]
+            results = driver.advance_all(epoch_end, inboxes, keep_alive,
+                                         sample)
+            epochs += 1
+            inboxes = [[] for _ in range(workers)]
+            for pid, (outbox, peek) in enumerate(results):
+                peeks[pid] = peek
+                for record in outbox:
+                    inboxes[assignment[record.dst_node]].append(record)
+        # Tail barrier: no executable events remain at or before the
+        # horizon, so advancing everyone to it runs nothing -- it only
+        # pins each clock to ``until`` (undelivered records, if any, are
+        # injected as future events exactly as the single sim would
+        # leave them pending).
+        driver.advance_all(until, inboxes, [False] * workers, False)
+        fragments = driver.finish()
+    finally:
+        driver.close()
+
+    report = merge_fragments(
+        fragments, offered_packets=offered, duration_sec=until,
+        workers=workers, epochs=epochs,
+        registry=registry if observe else None)
+    if observe:
+        run_info = registry.gauge(
+            "run_workers", help="partitions driving this run")
+        run_info.set(workers)
+        registry.gauge(
+            "run_epochs",
+            help="conservative-lookahead epochs executed").set(epochs)
+    return report

@@ -8,16 +8,21 @@ histograms with percentiles, time series).
 
 from .engine import Event, Simulator
 from .links import Link
+from .partition import CrossLink, Partition, TransitRecord
 from .queues import FiniteQueue
-from .rng import RngStreams
+from .rng import RngStreams, node_seeds
 from .stats import Counter, Histogram, TimeSeries
 
 __all__ = [
     "Event",
     "Simulator",
     "Link",
+    "Partition",
+    "CrossLink",
+    "TransitRecord",
     "FiniteQueue",
     "RngStreams",
+    "node_seeds",
     "Counter",
     "Histogram",
     "TimeSeries",

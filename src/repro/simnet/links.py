@@ -72,6 +72,16 @@ class Link:
         # Wheel timers: link completions are high-rate, homogeneous, and
         # never cancelled, so they bypass the heap entirely.
         self.sim.schedule_timer(tx_time, self._finish_tx)
+        self._schedule_delivery(packet, tx_time)
+
+    def _schedule_delivery(self, packet: Packet, tx_time: float) -> None:
+        """Hand the serialized packet to the far end after propagation.
+
+        Subclasses that terminate at a partition boundary (see
+        :class:`repro.simnet.partition.CrossLink`) override this to emit a
+        transit record instead of scheduling on a peer; queueing,
+        serialization, stalls, and flush semantics above stay shared.
+        """
         self.sim.schedule_timer(tx_time + self.propagation_sec,
                                 lambda p=packet: self.deliver(p))
 

@@ -9,6 +9,21 @@ from __future__ import annotations
 
 import hashlib
 import random
+from typing import List
+
+
+def node_seeds(seed: int, count: int) -> List[int]:
+    """The per-node RNG seeds the cluster derives from a root seed.
+
+    This is *the* derivation both the single-heap cluster build and every
+    partition build share: a root :class:`random.Random` seeded with
+    ``seed`` draws one 32-bit seed per node, in node-id order.  A
+    partition re-derives the full chain and uses only its local indices,
+    so node RNG streams are identical regardless of how the cluster is
+    sharded or which worker hosts a node.
+    """
+    root = random.Random(seed)
+    return [root.getrandbits(32) for _ in range(count)]
 
 
 class RngStreams:
@@ -26,6 +41,19 @@ class RngStreams:
             self._streams[name] = random.Random(
                 int.from_bytes(digest[:8], "big"))
         return self._streams[name]
+
+    def spawn(self, name: str) -> "RngStreams":
+        """A child stream factory seeded deterministically from this one.
+
+        The seed-sequence-style spawn used for per-partition randomness:
+        ``RngStreams(seed).spawn("partition/3")`` yields the same child on
+        every run and on every worker, independent of spawn order or of
+        which process performs the spawn, so sharded results cannot depend
+        on worker scheduling.
+        """
+        digest = hashlib.sha256(
+            ("%d/spawn/%s" % (self.seed, name)).encode()).digest()
+        return RngStreams(int.from_bytes(digest[:8], "big"))
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams

@@ -48,14 +48,27 @@ class Histogram:
     def mean(self) -> float:
         if not self._values:
             raise ValueError("empty histogram")
+        # Sum in sorted order so the result depends only on the observed
+        # multiset, not insertion order -- a partitioned run merges
+        # observations in a different order than the single-heap engine
+        # and must still report bit-identical scalars.
+        self._ensure_sorted()
         return sum(self._values) / len(self._values)
 
     def stddev(self) -> float:
         if len(self._values) < 2:
             return 0.0
+        self._ensure_sorted()
         mu = self.mean()
         return math.sqrt(sum((v - mu) ** 2 for v in self._values)
                          / (len(self._values) - 1))
+
+    def extend(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        if not other._values:
+            return
+        self._values.extend(other._values)
+        self._sorted = False
 
     def percentile(self, p: float) -> float:
         """Exact percentile (nearest-rank), p in [0, 100]."""

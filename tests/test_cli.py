@@ -107,3 +107,37 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestParallelCommand:
+    def test_parallel_run_inline(self, capsys):
+        assert main(["parallel", "run", "rb4", "--workers", "2",
+                     "--backend", "inline", "--duration-ms", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 nodes across 2 worker(s)" in out
+        assert "critical-path" in out
+        assert "delivered" in out
+
+    def test_parallel_single_worker_delegates(self, capsys):
+        assert main(["parallel", "run", "rb4", "--workers", "1",
+                     "--backend", "inline", "--duration-ms", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "single-heap run" in out
+
+    def test_parallel_matches_across_worker_counts(self, capsys):
+        assert main(["parallel", "run", "rb4", "--workers", "1",
+                     "--backend", "inline", "--duration-ms", "0.4"]) == 0
+        single = capsys.readouterr().out.splitlines()[1]
+        assert main(["parallel", "run", "rb4", "--workers", "4",
+                     "--backend", "inline", "--duration-ms", "0.4"]) == 0
+        sharded = capsys.readouterr().out.splitlines()[1]
+        assert single == sharded  # offered/delivered/dropped line
+
+    def test_parallel_bad_topology(self, capsys):
+        assert main(["parallel", "run", "mesh9"]) == 2
+        assert "rb4/rb8/rb32" in capsys.readouterr().err
+
+    def test_parallel_too_many_workers(self, capsys):
+        assert main(["parallel", "run", "rb4", "--workers", "9",
+                     "--backend", "inline"]) == 2
+        assert "partition count" in capsys.readouterr().err

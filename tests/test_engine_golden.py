@@ -111,3 +111,21 @@ class TestGoldenOrder:
             assert sim.step()
         assert log == GOLDEN
         assert sim.events_run == GOLDEN_EVENTS_RUN
+
+    def test_epoch_sliced_run_matches_batch(self):
+        """Repeated run(until=slice) calls -- the parallel runner's epoch
+        protocol -- must replay the golden order exactly, including when
+        slice boundaries land on event times (boundary events execute in
+        the epoch that reaches them first, i.e. run(until=t) is
+        inclusive)."""
+        for epoch in (0.0625, 0.1, 0.125, 0.33, 1.0):
+            sim = Simulator()
+            log = []
+            drive(sim, log, use_timer=True)
+            t = 0.0
+            while t < GOLDEN_FINAL_NOW:
+                t = min(t + epoch, GOLDEN_FINAL_NOW)
+                sim.run(until=t)
+            assert log == GOLDEN, "epoch=%r diverged" % epoch
+            assert sim.now == GOLDEN_FINAL_NOW
+            assert sim.events_run == GOLDEN_EVENTS_RUN

@@ -109,3 +109,90 @@ class TestFlows:
                        length=1024)
         assert queue_for_flow(a.five_tuple(), 8) == queue_for_flow(
             b.five_tuple(), 8)
+
+
+class TestWireEncoding:
+    """The compact encoding packets ride across partition boundaries.
+
+    The parallel DES runner pickles packets between worker processes;
+    both pickle and to_wire()/from_wire() must be lossless -- including
+    ``packet_id``, which decoding must restore *without* drawing a fresh
+    id from the global counter.
+    """
+
+    def _loaded_packet(self):
+        p = Packet.udp("10.0.0.1", "10.9.0.2", length=740, src_port=777,
+                       dst_port=53, payload=b"abc")
+        p.flow_seq = 42
+        p.ingress_node = 1
+        p.egress_node = 3
+        p.path = [1, 2]
+        p.arrival_time = 1.25e-4
+        p.departure_time = 0.0
+        p.annotations["hop_t"] = 1.25e-4
+        return p
+
+    def _assert_equal(self, a, b):
+        assert b.packet_id == a.packet_id
+        assert b.length == a.length
+        assert (b.eth.dst, b.eth.src, b.eth.ethertype) == (
+            a.eth.dst, a.eth.src, a.eth.ethertype)
+        assert (b.ip.src, b.ip.dst, b.ip.ttl, b.ip.proto,
+                b.ip.total_length) == (
+            a.ip.src, a.ip.dst, a.ip.ttl, a.ip.proto, a.ip.total_length)
+        assert (b.l4.src_port, b.l4.dst_port) == (
+            a.l4.src_port, a.l4.dst_port)
+        assert b.payload == a.payload
+        assert b.flow_seq == a.flow_seq
+        assert (b.ingress_node, b.egress_node) == (
+            a.ingress_node, a.egress_node)
+        assert b.path == a.path
+        assert b.arrival_time == a.arrival_time
+        assert b.annotations == a.annotations
+        assert b.five_tuple() == a.five_tuple()
+
+    def test_wire_round_trip_is_lossless(self):
+        p = self._loaded_packet()
+        self._assert_equal(p, Packet.from_wire(p.to_wire()))
+
+    def test_pickle_round_trip_is_lossless(self):
+        import pickle
+        p = self._loaded_packet()
+        self._assert_equal(p, pickle.loads(pickle.dumps(p)))
+
+    def test_tcp_packet_round_trips(self):
+        import pickle
+        p = Packet.tcp("1.2.3.4", "5.6.7.8", seq=1234, length=1500)
+        clone = pickle.loads(pickle.dumps(p))
+        assert clone.l4.seq == 1234
+        assert clone.five_tuple() == p.five_tuple()
+        assert clone.ip.proto == PROTO_TCP
+
+    def test_decoding_does_not_consume_packet_ids(self):
+        p = self._loaded_packet()
+        wire = p.to_wire()
+        for _ in range(3):
+            Packet.from_wire(wire)
+        fresh = Packet.udp("10.0.0.1", "10.0.0.2")
+        # Only the explicit constructions drew ids: decode never does.
+        assert fresh.packet_id == p.packet_id + 1
+
+    def test_wire_is_plain_data(self):
+        # The encoding must stay cheap to pickle: ints, floats, tuples,
+        # bytes, None, and one optional flat dict -- no custom classes.
+        def plain(value):
+            if isinstance(value, (int, float, str, bytes, type(None))):
+                return True
+            if isinstance(value, (tuple, list)):
+                return all(plain(v) for v in value)
+            if isinstance(value, dict):
+                return all(plain(k) and plain(v) for k, v in value.items())
+            return False
+        assert plain(self._loaded_packet().to_wire())
+
+    def test_addresses_pickle_standalone(self):
+        import pickle
+        addr = IPv4Address("192.168.7.9")
+        assert pickle.loads(pickle.dumps(addr)) == addr
+        ft = FiveTuple(IPv4Address(1), IPv4Address(2), 6, 3, 4)
+        assert pickle.loads(pickle.dumps(ft)) == ft
