@@ -30,6 +30,23 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.obs import compare  # noqa: E402 (needs the path insert)
 
 
+def unknown_scalar_keys(baseline_doc: dict, bench_doc: dict) -> list:
+    """Scalar keys a fresh artifact carries that its baseline entry does
+    not, across *all* kinds.
+
+    ``compare_docs`` only surfaces "new" keys for the kinds it gates on
+    (rate by default), so a renamed time/count/perf scalar -- or a typo
+    in a new benchmark's summary keys -- used to vanish silently.  These
+    come back as warnings: baselines should be regenerated to cover
+    them, but an unknown key is never a failure.
+    """
+    base_scalars = compare.baseline_scalars_for(baseline_doc,
+                                                bench_doc.get("name", ""))
+    if base_scalars is None:
+        return []
+    return sorted(set(bench_doc.get("scalars", {})) - set(base_scalars))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("bench_files", nargs="*",
@@ -44,6 +61,10 @@ def main(argv=None) -> int:
                         help="fractional drop that fails (default: the "
                              "baseline's own, else %g)"
                              % compare.DEFAULT_TOLERANCE)
+    parser.add_argument("--ignore-unknown-benchmarks", action="store_true",
+                        help="warn (instead of erroring) on artifacts "
+                             "with no baseline entry -- for full-suite "
+                             "runs gated against the quick baseline")
     args = parser.parse_args(argv)
 
     try:
@@ -69,9 +90,23 @@ def main(argv=None) -> int:
     problems = False
     all_deltas = []
     perf_deltas = []
+    warnings = []
     for path in paths:
         try:
             doc = compare.load_json(str(path))
+            if args.ignore_unknown_benchmarks and \
+                    compare.baseline_scalars_for(
+                        baseline, doc.get("name", "")) is None:
+                # Ungated, but a failing scenario still fails the run.
+                if doc.get("status") != "passed":
+                    print("error: %s reports status %r"
+                          % (path.name, doc.get("status")),
+                          file=sys.stderr)
+                    problems = True
+                warnings.append(
+                    "warning: %s has no baseline entry -- regenerate "
+                    "the baseline to start gating it" % doc.get("name"))
+                continue
             deltas = compare.compare_docs(baseline, doc,
                                           tolerance=tolerance)
             perf_deltas.extend(compare.compare_docs(
@@ -84,10 +119,18 @@ def main(argv=None) -> int:
             print("error: %s reports status %r"
                   % (path.name, doc.get("status")), file=sys.stderr)
             problems = True
+        for key in unknown_scalar_keys(baseline, doc):
+            kind = doc["scalars"][key].get("kind", "count")
+            warnings.append(
+                "warning: %s/%s (%s) is not in the baseline -- "
+                "regenerate it to start tracking this scalar"
+                % (doc.get("name", path.name), key, kind))
         all_deltas.extend(deltas)
         regressed = regressed or any(d.regressed for d in deltas)
 
     print(compare.summarize(all_deltas))
+    for line in warnings:
+        print(line)
     if perf_deltas:
         # Wall-clock engine speed vs the baseline machine's.  Reported
         # only -- "perf" deltas classify as "info" and never gate, so a

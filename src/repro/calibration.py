@@ -328,6 +328,57 @@ XEON_CPI_FACTOR = 1.45
 XEON_FSB_BPS = gbps(68)  # ~8.5 GB/s, typical 1333 MHz FSB
 
 # --------------------------------------------------------------------------
+# Stateful NF costs (State-Compute Replication, arXiv 2309.14647)
+# --------------------------------------------------------------------------
+# The paper's applications are stateless per packet; the stateful NF suite
+# (repro.stateful) adds per-flow state whose *access discipline* is the
+# measured quantity.  The constants below calibrate the three core-dispatch
+# strategies against the Fig. 6 penalties already derived above:
+# QUEUE_LOCK_CYCLES (1205) is a lock acquire + full cache-line bounce on a
+# shared NIC ring, and CROSS_CACHE_MISS_CYCLES (1194.5) is a compulsory
+# cross-L3 transfer; the per-line and per-acquire figures here are chosen
+# to decompose consistently with those aggregates.
+
+#: Hash + bucket walk to find a flow's state entry (one random line).
+STATE_LOOKUP_CYCLES = 160.0
+#: Writing the updated entry back (the line is already resident).
+STATE_UPDATE_CYCLES = 90.0
+#: Per-packet verdict/action work of each NF on top of the table access.
+NF_COMPUTE_CYCLES = {
+    "nat": 180.0,
+    "firewall": 110.0,
+    "policer": 140.0,
+    "lb": 120.0,
+}
+#: Packet handling around the NF stage (parse headers, apply the verdict).
+STATEFUL_BASE_CYCLES = 300.0
+#: Bytes of per-flow state an NF touches per packet (one cache line).
+STATE_ENTRY_BYTES = 64.0
+
+#: One cache line migrating from a remote core's cache (L3 hit-modified /
+#: cross-socket snoop average on Nehalem; half of CROSS_CACHE_MISS_CYCLES'
+#: two-line handoff).
+CACHE_COHERENCE_CYCLES = 350.0
+#: Shared-state strategies bounce the lock word and the entry line.
+STATE_SHARED_LINES = 2.0
+#: Uncontended lock acquire/release (local CAS pair).
+LOCK_BASE_CYCLES = 40.0
+#: A contended acquire: spin while the holder finishes its lookup+update
+#: critical section, then take the bounced line (QUEUE_LOCK_CYCLES-scale
+#: convoy cost per extra waiter).
+LOCK_CONTENDED_CYCLES = 1800.0
+
+#: Encoding a compact state delta into the per-core history log (SCR's
+#: packet-history share): sequence + flow key + operands.
+SCR_DELTA_ENCODE_CYCLES = 60.0
+#: Replaying one delta on a replica core: apply a precomputed transition
+#: to a local, exclusively-owned line -- the whole point of SCR is that
+#: this is an order of magnitude cheaper than the full NF update.
+SCR_DELTA_APPLY_CYCLES = 25.0
+#: Wire/log size of one delta (seq 8 + key 13 + operands, padded).
+SCR_DELTA_BYTES = 32.0
+
+# --------------------------------------------------------------------------
 # Latency model (Sec. 6.2)
 # --------------------------------------------------------------------------
 

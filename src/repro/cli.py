@@ -9,6 +9,7 @@ Commands
 ``pipeline``     compile a Click config: predicted rate + cost breakdown
 ``rb4``          the 4-node cluster's operating points
 ``faults``       graceful degradation: analytic curve or a scripted DES run
+``stateful``     stateful NF dispatch strategies under flow-skewed traffic
 ``trace``        generate or inspect pcap traces of the synthetic workloads
 ``obs``          run instrumented benchmarks, report/diff BENCH_*.json,
                  and ``explain`` a pipeline's binding resource
@@ -541,6 +542,34 @@ def _cmd_obs(args) -> int:
     return 1 if any(d.regressed for d in deltas) else 0
 
 
+def _cmd_stateful(args) -> int:
+    from .stateful import STRATEGIES, make_nf, run_strategy
+    from .workloads import SkewedFlowWorkload
+
+    workload = SkewedFlowWorkload(num_flows=args.flows, skew=args.skew,
+                                  churn_packets=args.churn, seed=args.seed)
+    records = list(workload.records(args.packets))
+    strategies = list(STRATEGIES) if args.strategy == "all" \
+        else [args.strategy]
+    rows = []
+    for strategy in strategies:
+        report = run_strategy(make_nf(args.nf), records, args.cores, strategy)
+        rows.append({
+            "strategy": strategy,
+            "mpps": "%.3f" % report.throughput_mpps,
+            "gbps": "%.3f" % report.throughput_gbps,
+            "dropped": report.dropped,
+            "lock_contended": report.lock_contended,
+            "coherence": report.coherence_transfers,
+            "scr_deltas": report.scr_deltas,
+            "flows": len(report.end_state),
+        })
+    print(format_table(
+        rows, title="%s on %d cores, %d packets, %d flow slots, skew %.2f"
+        % (args.nf, args.cores, args.packets, args.flows, args.skew)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RouteBricks reproduction toolkit")
@@ -641,6 +670,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration-ms", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_parallel)
+
+    p = sub.add_parser("stateful",
+                       help="stateful NF dispatch strategies (locks / "
+                            "rss / scr) under flow-skewed traffic")
+    p.add_argument("action", choices=["run"])
+    p.add_argument("nf", choices=["nat", "firewall", "policer", "lb"])
+    p.add_argument("--strategy", choices=["locks", "rss", "scr", "all"],
+                   default="all",
+                   help="dispatch strategy, or 'all' for a comparison "
+                        "table (default)")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--skew", type=float, default=1.1,
+                   help="Zipf exponent of the flow-popularity law")
+    p.add_argument("--flows", type=int, default=512,
+                   help="concurrently live flow slots")
+    p.add_argument("--packets", type=int, default=20_000)
+    p.add_argument("--churn", type=float, default=None,
+                   help="mean flow lifetime in packets (default: no churn)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_stateful)
 
     p = sub.add_parser("trace", help="generate/inspect pcap traces")
     p.add_argument("action", choices=["generate", "info"])

@@ -105,6 +105,10 @@ def default_registry() -> ElementRegistry:
         RandomSample, SetTTL, SourceFilter, Tee,
     )
     from .elements.loadbalance import FlowHashSwitch, RoundRobinSwitch
+    from .elements.stateful import (
+        ConnTrackFirewall, L4LoadBalancer, NetworkAddressTranslator,
+        TokenBucketPolicer,
+    )
 
     registry = ElementRegistry()
     from .elements.queue_policies import DropFrontQueue, RedQueue
@@ -135,6 +139,23 @@ def default_registry() -> ElementRegistry:
                           n=int(args[0]) if args else 2, name=name))
     registry.register("FlowHashSwitch",
                       lambda args, name: FlowHashSwitch(
+                          n=int(args[0]) if args else 2, name=name))
+    registry.register("NAT",
+                      lambda args, name: NetworkAddressTranslator(
+                          pool_size=int(args[0]) if args else 60000,
+                          name=name))
+    registry.register("ConnTrackFirewall",
+                      lambda args, name: ConnTrackFirewall(
+                          establish_after=int(args[0]) if args else 3,
+                          max_packets=int(args[1]) if len(args) > 1
+                          else 10000, name=name))
+    registry.register("TokenBucketPolicer",
+                      lambda args, name: TokenBucketPolicer(
+                          rate_bps=float(args[0]) if args else 8e6,
+                          burst_bytes=float(args[1]) if len(args) > 1
+                          else 3000.0, name=name))
+    registry.register("L4LoadBalancer",
+                      lambda args, name: L4LoadBalancer(
                           n=int(args[0]) if args else 2, name=name))
     return registry
 

@@ -120,6 +120,13 @@ PRESET_PIPELINES = {
         src :: PollDevice(0);
         src -> IPsecESPEncap -> ToDevice(0);
     """,
+    "nat": """
+        // Stateful NAT gateway: conntrack admission, source NAT,
+        // per-flow token-bucket policing (repro.stateful suite).
+        src :: PollDevice(0);
+        src -> CheckIPHeader -> ConnTrackFirewall -> NAT
+            -> TokenBucketPolicer -> ToDevice(0);
+    """,
 }
 
 

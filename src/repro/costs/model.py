@@ -255,6 +255,62 @@ class CostModel:
         base, per_byte = self.app_terms(self.baseline)
         return app_base - base, app_per_byte - per_byte
 
+    # -- stateful NF dispatch (State-Compute Replication) -------------------
+
+    # The stateful suite charges four kinds of work beyond an NF's own
+    # update: shared-state locking, cache-line coherence transfers, and
+    # SCR's delta encode/replay.  Expressing them as ResourceVectors keeps
+    # the dispatch strategies on the same accounting basis as every other
+    # consumer: cycles bind cores, delta bytes ride the memory/QPI buses.
+
+    def state_access_vector(self, nf: str = "nat") -> ResourceVector:
+        """Per-packet cost of one flow-state lookup + update + NF verdict."""
+        compute = cal.NF_COMPUTE_CYCLES.get(nf)
+        if compute is None:
+            raise ConfigurationError(
+                "unknown stateful NF %r (have %s)"
+                % (nf, sorted(cal.NF_COMPUTE_CYCLES)))
+        return ResourceVector(
+            cpu_cycles=(cal.STATEFUL_BASE_CYCLES + cal.STATE_LOOKUP_CYCLES
+                        + cal.STATE_UPDATE_CYCLES + compute),
+            mem_bytes=cal.STATE_ENTRY_BYTES)
+
+    def lock_vector(self, contended: bool = False) -> ResourceVector:
+        """One lock acquire/release; contended acquires convoy-wait."""
+        cycles = cal.LOCK_BASE_CYCLES
+        if contended:
+            cycles += cal.LOCK_CONTENDED_CYCLES
+        return ResourceVector(cpu_cycles=cycles)
+
+    def coherence_vector(self,
+                         lines: float = cal.STATE_SHARED_LINES
+                         ) -> ResourceVector:
+        """Cache lines migrating from a remote core (shared-state access).
+
+        The transferred bytes are charged to the inter-socket link: on the
+        two-socket reference server half of all remote transfers cross
+        QPI, and the on-die half is free, so one full accounting of every
+        line at the 0.5 crossing probability is the expected QPI load.
+        """
+        return ResourceVector(
+            cpu_cycles=lines * cal.CACHE_COHERENCE_CYCLES,
+            qpi_bytes=lines * CACHE_LINE_BYTES * 0.5)
+
+    def scr_encode_vector(self) -> ResourceVector:
+        """Appending one compact delta to the shared history log."""
+        return ResourceVector(cpu_cycles=cal.SCR_DELTA_ENCODE_CYCLES,
+                              mem_bytes=cal.SCR_DELTA_BYTES)
+
+    def scr_replay_vector(self) -> ResourceVector:
+        """One replica applying one delta from the history log.
+
+        Reading the log is a sequential stream (prefetched), so the cost
+        is the apply cycles plus the delta's bytes on the memory bus; the
+        state line itself is core-local by construction.
+        """
+        return ResourceVector(cpu_cycles=cal.SCR_DELTA_APPLY_CYCLES,
+                              mem_bytes=cal.SCR_DELTA_BYTES)
+
     # -- user-defined applications (Sec. 8) --------------------------------
 
     def derive_application(self, name: str,

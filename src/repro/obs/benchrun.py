@@ -62,6 +62,7 @@ QUICK_BENCHMARKS = (
     "fig3_topology",
     "timed_server",
     "parallel_scaling",
+    "stateful_scr",
 )
 
 #: Numeric dict keys harvested as rate scalars.

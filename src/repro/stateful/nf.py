@@ -1,0 +1,252 @@
+"""The stateful network functions, written SCR-style.
+
+Each NF is split into the two halves State-Compute Replication needs
+(arXiv 2309.14647):
+
+* :meth:`StatefulNF.process` -- the **full** computation a core runs for
+  a packet it owns: look at the flow entry, do the expensive work
+  (header parsing, allocation, classification), and return the new
+  entry, the verdict, and the *compact delta args* that summarize the
+  state change;
+* :meth:`StatefulNF.replay` -- the **cheap** computation an SCR replica
+  runs to apply someone else's delta: fold the args into the entry
+  without redoing the work.
+
+For every NF here ``replay`` is exact: applying process's delta args
+yields the same entry process produced.  That identity -- checked by the
+tests -- is what makes SCR's replicas converge to the shared-state
+outcome.
+
+All four NFs are *per-flow deterministic*: an entry depends only on the
+flow's own packet subsequence (and timestamps), never on cross-flow
+interleaving.  That is the property that lets locks, RSS, and SCR reach
+identical end states from the same packet history.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..net.flows import FiveTuple, rss_hash
+from .state import FlowTable
+
+#: Verdicts an NF can return for a packet.
+FORWARD = "forward"
+DROP = "drop"
+
+#: Salt for NAT's deterministic port allocator (distinct from the RSS
+#: dispatch seed so pinning and allocation stay uncorrelated).
+NAT_PORT_SALT = 0x5CA1AB1E
+
+
+class StatefulNF:
+    """Interface every stateful NF implements.
+
+    Entries are plain tuples; ``None`` means "no state yet" on both
+    sides, so NFs never need a separate insert path.
+    """
+
+    #: Short name; must be a key of calibration.NF_COMPUTE_CYCLES.
+    name = "base"
+
+    def process(self, entry: Optional[tuple], rec) -> Tuple[tuple, str, tuple]:
+        """Full computation: ``(new_entry, verdict, delta_args)``."""
+        raise NotImplementedError
+
+    def replay(self, entry: Optional[tuple], args: tuple) -> tuple:
+        """Cheap replica update: fold ``delta_args`` into ``entry``."""
+        raise NotImplementedError
+
+
+class NatNF(StatefulNF):
+    """Source NAT with deterministic port allocation.
+
+    Ports come from a pure hash of the flow key (deterministic CGN in
+    the RFC 7422 style): ``1024 + h(key, salt) % pool``.  Every core
+    computes the same mapping independently, so the allocation itself
+    never needs coordination -- the *entry* (mapping + counters) is what
+    the strategies manage.  Entry: ``(ext_port, packets, bytes)``.
+    """
+
+    name = "nat"
+
+    def __init__(self, pool_size: int = 60000):
+        if pool_size < 1:
+            raise ConfigurationError("NAT port pool must be >= 1")
+        self.pool_size = pool_size
+
+    def _allocate(self, key: FiveTuple) -> int:
+        return 1024 + rss_hash(key, seed=NAT_PORT_SALT) % self.pool_size
+
+    def process(self, entry, rec):
+        if entry is None:
+            ext_port = self._allocate(rec.key)
+            packets, length = 1, rec.length
+        else:
+            ext_port, packets, length = entry
+            packets, length = packets + 1, length + rec.length
+        new_entry = (ext_port, packets, length)
+        return new_entry, FORWARD, (ext_port, rec.length)
+
+    def replay(self, entry, args):
+        ext_port, length = args
+        if entry is None:
+            return (ext_port, 1, length)
+        return (ext_port, entry[1] + 1, entry[2] + length)
+
+
+class FirewallNF(StatefulNF):
+    """Connection-tracking firewall over a per-flow packet budget.
+
+    A flow is admitted on first sight ("new"), promoted to
+    "established" after ``establish_after`` packets, and clamped to
+    ``max_packets`` total -- beyond that the conntrack entry flips to
+    "closed" and further packets drop, modelling an idle/abuse cutoff
+    that depends only on the flow's own history.  Entry:
+    ``(state, packets)``.
+    """
+
+    name = "firewall"
+
+    NEW, ESTABLISHED, CLOSED = "new", "established", "closed"
+
+    def __init__(self, establish_after: int = 3, max_packets: int = 10000):
+        if establish_after < 1 or max_packets <= establish_after:
+            raise ConfigurationError(
+                "need 1 <= establish_after < max_packets")
+        self.establish_after = establish_after
+        self.max_packets = max_packets
+
+    def _advance(self, entry: Optional[tuple]) -> tuple:
+        packets = 1 if entry is None else entry[1] + 1
+        if packets >= self.max_packets:
+            state = self.CLOSED
+        elif packets >= self.establish_after:
+            state = self.ESTABLISHED
+        else:
+            state = self.NEW
+        return (state, packets)
+
+    def process(self, entry, rec):
+        new_entry = self._advance(entry)
+        verdict = DROP if new_entry[0] == self.CLOSED else FORWARD
+        return new_entry, verdict, ()
+
+    def replay(self, entry, args):
+        return self._advance(entry)
+
+
+class PolicerNF(StatefulNF):
+    """Per-flow token-bucket policer (rate in bytes/s, burst in bytes).
+
+    Refill depends only on the packet's arrival timestamp and the flow's
+    last-seen timestamp -- both carried by the packet history -- so
+    replicas refill identically.  Entry:
+    ``(tokens, last_time, conformed, exceeded)``.
+    """
+
+    name = "policer"
+
+    def __init__(self, rate_bps: float = 8e6, burst_bytes: float = 3000.0):
+        if rate_bps <= 0 or burst_bytes <= 0:
+            raise ConfigurationError("policer rate and burst must be > 0")
+        self.rate_Bps = rate_bps / 8.0
+        self.burst_bytes = float(burst_bytes)
+
+    def _advance(self, entry: Optional[tuple], time: float,
+                 length: int) -> Tuple[tuple, bool]:
+        if entry is None:
+            tokens, last, conformed, exceeded = self.burst_bytes, time, 0, 0
+        else:
+            tokens, last, conformed, exceeded = entry
+            tokens = min(self.burst_bytes,
+                         tokens + (time - last) * self.rate_Bps)
+            last = time
+        conform = tokens >= length
+        if conform:
+            tokens -= length
+            conformed += 1
+        else:
+            exceeded += 1
+        return (tokens, last, conformed, exceeded), conform
+
+    def process(self, entry, rec):
+        new_entry, conform = self._advance(entry, rec.time, rec.length)
+        return new_entry, FORWARD if conform else DROP, (rec.time, rec.length)
+
+    def replay(self, entry, args):
+        time, length = args
+        new_entry, _ = self._advance(entry, time, length)
+        return new_entry
+
+
+class LoadBalancerNF(StatefulNF):
+    """L4 load balancer with consistent (rendezvous) backend hashing.
+
+    A flow's backend is the highest-hash winner over the backend set --
+    pure function of the flow key, so the choice is stable under backend
+    list growth and identical on every core.  The entry records the
+    sticky choice plus counters: ``(backend, packets, bytes)``.
+    """
+
+    name = "lb"
+
+    def __init__(self, num_backends: int = 8):
+        if num_backends < 1:
+            raise ConfigurationError("need >= 1 backend")
+        self.num_backends = num_backends
+
+    def _choose(self, key: FiveTuple) -> int:
+        best, best_weight = 0, -1
+        for backend in range(self.num_backends):
+            weight = rss_hash(key, seed=0xB0B0 + backend)
+            if weight > best_weight:
+                best, best_weight = backend, weight
+        return best
+
+    def process(self, entry, rec):
+        if entry is None:
+            backend, packets, length = self._choose(rec.key), 1, rec.length
+        else:
+            backend, packets, length = entry
+            packets, length = packets + 1, length + rec.length
+        new_entry = (backend, packets, length)
+        return new_entry, FORWARD, (backend, rec.length)
+
+    def replay(self, entry, args):
+        backend, length = args
+        if entry is None:
+            return (backend, 1, length)
+        return (backend, entry[1] + 1, entry[2] + length)
+
+
+#: Registry of NF constructors by short name (the CLI/bench surface).
+NF_FACTORIES = {
+    "nat": NatNF,
+    "firewall": FirewallNF,
+    "policer": PolicerNF,
+    "lb": LoadBalancerNF,
+}
+
+
+def make_nf(name: str, **kwargs) -> StatefulNF:
+    """Instantiate an NF by short name."""
+    factory = NF_FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError("unknown stateful NF %r (have %s)"
+                                 % (name, sorted(NF_FACTORIES)))
+    return factory(**kwargs)
+
+
+def apply_history(nf: StatefulNF, records, table: Optional[FlowTable] = None
+                  ) -> FlowTable:
+    """Reference single-core execution: run ``nf`` over ``records`` in
+    order against one table.  This is the ground truth every dispatch
+    strategy must match."""
+    if table is None:
+        table = FlowTable()
+    for rec in records:
+        entry, _, _ = nf.process(table.get(rec.key), rec)
+        table.put(rec.key, entry)
+    return table

@@ -1,0 +1,93 @@
+"""Per-flow state: tables, entries, and the compact SCR delta record.
+
+The stateful NF suite keeps all per-flow state behind one abstraction so
+the three dispatch strategies can differ *only* in how cores reach it:
+
+* ``locks`` shares one :class:`FlowTable` between every core;
+* ``rss`` gives each core a private table holding its pinned flows;
+* ``scr`` gives each core a private *replica* of the full table, kept
+  identical by replaying :class:`StateDelta` records from the shared
+  packet history.
+
+Entries are plain tuples (cheap to copy, structurally comparable), and
+:meth:`FlowTable.snapshot` produces a canonical dict keyed by five-tuple
+ints -- the object the equivalence tests compare across strategies and
+across SCR replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..net.flows import FiveTuple
+
+#: Canonical snapshot type: five-tuple ints -> entry tuple.
+Snapshot = Dict[Tuple[int, int, int, int, int], tuple]
+
+
+@dataclass(frozen=True)
+class StateDelta:
+    """One replicated state update: what SCR broadcasts instead of state.
+
+    ``args`` carries the *decision*, not the work -- e.g. the NAT delta
+    carries the already-allocated external port, so replicas apply it
+    without re-running the allocator.  ``seq`` is the packet's global
+    sequence number; replicas apply deltas in ``seq`` order, which is
+    what makes every replica's table identical to the shared-state
+    outcome.
+    """
+
+    seq: int
+    nf: str
+    key: FiveTuple
+    args: tuple
+
+
+class FlowTable:
+    """A flow-keyed state table with a canonical snapshot view."""
+
+    def __init__(self, name: str = "flows"):
+        self.name = name
+        self._entries: Dict[FiveTuple, tuple] = {}
+        #: Peak entry count, for table-occupancy reporting.
+        self.peak_entries = 0
+
+    def get(self, key: FiveTuple) -> Optional[tuple]:
+        return self._entries.get(key)
+
+    def put(self, key: FiveTuple, entry: tuple) -> None:
+        self._entries[key] = entry
+        if len(self._entries) > self.peak_entries:
+            self.peak_entries = len(self._entries)
+
+    def remove(self, key: FiveTuple) -> None:
+        self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterator[Tuple[FiveTuple, tuple]]:
+        return iter(self._entries.items())
+
+    def snapshot(self) -> Snapshot:
+        """Canonical, order-independent view for equality assertions."""
+        return {key.as_ints(): entry
+                for key, entry in self._entries.items()}
+
+
+def merge_snapshots(*snapshots: Snapshot) -> Snapshot:
+    """Union of disjoint per-core snapshots (the RSS end-state view).
+
+    Raises ``ValueError`` if two shards claim the same flow with
+    different entries -- per-flow pinning guarantees disjointness, so a
+    collision is a dispatch bug, not a data race to paper over.
+    """
+    merged: Snapshot = {}
+    for snapshot in snapshots:
+        for key, entry in snapshot.items():
+            if key in merged and merged[key] != entry:
+                raise ValueError("flow %r present in two shards with "
+                                 "different state" % (key,))
+            merged[key] = entry
+    return merged

@@ -13,6 +13,7 @@ from .matrices import TrafficMatrix, uniform_matrix, permutation_matrix, hotspot
 from .flowgen import Flow, FlowGenerator
 from .imix import ImixWorkload, MIXES
 from .churn import ChurnGenerator, Update
+from .zipf_flows import PacketRecord, SkewedFlowWorkload
 from .cluster_traffic import matrix_events, offered_packets
 from .pcapio import load_trace, save_trace
 from .spec import WorkloadSpec, resolve_app
@@ -34,6 +35,8 @@ __all__ = [
     "MIXES",
     "ChurnGenerator",
     "Update",
+    "PacketRecord",
+    "SkewedFlowWorkload",
     "matrix_events",
     "offered_packets",
     "load_trace",

@@ -194,6 +194,67 @@ class TestRegressionScript:
                          "--results-dir", str(tmp_path))
         assert proc.returncode == 1, proc.stdout + proc.stderr
 
+    def test_unknown_scalar_keys_warn_without_failing(self, bench_doc,
+                                                      tmp_path):
+        """Scalars absent from the baseline entry surface as warnings
+        (all kinds), and never flip the exit code."""
+        extended = copy.deepcopy(bench_doc)
+        extended["scalars"]["test_extra.fresh_mpps.mean"] = {
+            "value": 1.0, "kind": "rate"}
+        extended["scalars"]["test_extra.oddball_events"] = {
+            "value": 3.0, "kind": "count"}
+        write_bench_json(extended, tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            make_baseline([bench_doc], created_unix=0.0)))
+        proc = self._run("--baseline", str(baseline),
+                         "--results-dir", str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "warning:" in proc.stdout
+        assert "test_extra.fresh_mpps.mean" in proc.stdout
+        # Non-gated kinds used to vanish silently; now they warn too.
+        assert "test_extra.oddball_events" in proc.stdout
+
+    def test_unknown_scalar_keys_helper(self, bench_doc):
+        import importlib.util
+        spec = importlib.util.spec_from_file_location(
+            "check_bench_regression", self.SCRIPT)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        baseline = make_baseline([bench_doc], created_unix=0.0)
+        extended = copy.deepcopy(bench_doc)
+        extended["scalars"]["test_x.sneaky_seconds"] = {
+            "value": 1.0, "kind": "time"}
+        assert module.unknown_scalar_keys(baseline, bench_doc) == []
+        assert module.unknown_scalar_keys(baseline, extended) == \
+            ["test_x.sneaky_seconds"]
+        # No baseline entry for this benchmark: nothing to warn about
+        # (compare_docs already hard-errors on that case).
+        renamed = copy.deepcopy(bench_doc)
+        renamed["name"] = "unseen"
+        assert module.unknown_scalar_keys(baseline, renamed) == []
+
+    def test_unknown_benchmark_warns_only_with_flag(self, bench_doc,
+                                                    tmp_path):
+        """Artifacts with no baseline entry hard-error by default (the
+        PR gate) but downgrade to a warning under
+        --ignore-unknown-benchmarks (the nightly full-suite run)."""
+        renamed = copy.deepcopy(bench_doc)
+        renamed["name"] = "unbaselined"
+        write_bench_json(renamed, tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            make_baseline([bench_doc], created_unix=0.0)))
+        strict = self._run("--baseline", str(baseline),
+                           "--results-dir", str(tmp_path))
+        assert strict.returncode == 2
+        relaxed = self._run("--baseline", str(baseline),
+                            "--results-dir", str(tmp_path),
+                            "--ignore-unknown-benchmarks")
+        assert relaxed.returncode == 0, relaxed.stdout + relaxed.stderr
+        assert "warning: unbaselined has no baseline entry" \
+            in relaxed.stdout
+
     def test_missing_baseline_is_exit_2(self, tmp_path):
         proc = self._run("--baseline", str(tmp_path / "absent.json"),
                          "--results-dir", str(tmp_path))
