@@ -73,21 +73,34 @@ def test_rb8_worker_sweep(benchmark, save_result):
                 "wall_events_per_sec": report.events_run / cpu,
                 "speedup": rate / base_rate,
                 "goodput_gbps": report.delivered_bps / 1e9,
+                "barrier_wait_seconds": sum(report.barrier_wait_seconds),
+                "lookahead_efficiency": report.lookahead_efficiency,
+                "imbalance": report.load_imbalance,
             })
         # Flat per-worker keys so the BENCH artifact records each
-        # sharding's rate by name, not just the sweep average.
+        # sharding's rate by name, not just the sweep average.  The
+        # epoch/barrier telemetry (PR 9) rides along as perf scalars:
+        # aggregate barrier stall, mean epoch length over the lookahead
+        # window W, and busiest/mean partition busy-time imbalance.
         summary = {}
         for row in rows:
             w = row["workers"]
             summary["w%d_events_per_sec" % w] = row["events_per_sec"]
             summary["w%d_speedup" % w] = row["speedup"]
+            if w > 1:  # single-heap runs have no epochs or barriers
+                summary["w%d_barrier_wait_seconds" % w] = \
+                    row["barrier_wait_seconds"]
+                summary["w%d_lookahead_efficiency" % w] = \
+                    row["lookahead_efficiency"]
+                summary["w%d_imbalance" % w] = row["imbalance"]
         return {"rows": rows, "summary": summary}
 
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = result["rows"]
     save_result("parallel_scaling", format_table(
         rows, ["workers", "events", "epochs", "events_per_sec",
-               "speedup", "goodput_gbps"],
+               "speedup", "goodput_gbps", "lookahead_efficiency",
+               "imbalance"],
         title="RB8 partitioned DES, critical-path event rate"))
     by_workers = {row["workers"]: row for row in rows}
     # The acceptance bar: 4 partitions buy at least 2x the single-heap

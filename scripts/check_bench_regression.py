@@ -132,11 +132,15 @@ def main(argv=None) -> int:
     for line in warnings:
         print(line)
     if perf_deltas:
-        # Wall-clock engine speed vs the baseline machine's.  Reported
-        # only -- "perf" deltas classify as "info" and never gate, so a
-        # slow CI runner cannot fail the build.
-        print("\nwall-clock perf (informational, never gates):")
-        for delta in perf_deltas:
+        # Wall-clock engine speed plus the parallel-runtime telemetry
+        # (barrier_wait_seconds / lookahead_efficiency / imbalance per
+        # worker count) vs the baseline machine's.  Reported only --
+        # "perf" deltas classify as "info" and never gate, so a slow or
+        # oddly-scheduled CI runner cannot fail the build.
+        print("\nwall-clock & parallel-runtime perf "
+              "(informational, never gates):")
+        for delta in sorted(perf_deltas,
+                            key=lambda d: (d.benchmark, d.metric)):
             print("  " + delta.describe())
     if problems:
         return 2

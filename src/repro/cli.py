@@ -482,6 +482,76 @@ def _cmd_obs(args) -> int:
         print(format_explain(report))
         return 0 if report.agreement else 1
 
+    if args.action == "timeline":
+        import re
+
+        from .obs.timeline import chrome_trace, write_trace_json
+
+        if len(args.names) != 1:
+            print("usage: repro obs timeline <rbN|BENCH_<name>.json> "
+                  "[--workers N] [--duration-ms MS] [--out-dir DIR]",
+                  file=sys.stderr)
+            return 2
+        target = args.names[0]
+        if target.endswith(".json"):
+            # A finished benchmark document: export its metrics section.
+            from .obs.schema import validate_bench
+            try:
+                doc = compare.load_json(target)
+            except (OSError, json.JSONDecodeError) as error:
+                print("error: %s" % error, file=sys.stderr)
+                return 2
+            problems = validate_bench(doc)
+            if problems:
+                print("invalid document: %s" % "; ".join(problems),
+                      file=sys.stderr)
+                return 2
+            name = doc.get("name", "bench")
+            snapshot = doc.get("metrics") or {}
+        else:
+            match = re.fullmatch(r"rb(\d+)", target.lower())
+            if not match:
+                print("error: name an rbN preset or a BENCH_*.json, got %r"
+                      % target, file=sys.stderr)
+                return 2
+            nodes = int(match.group(1))
+            from .core import RouteBricksRouter
+            from .errors import ReproError
+            from .obs.metrics import MetricsRegistry
+            from .parallel import simulate_parallel
+            from .workloads import WorkloadSpec
+            from .workloads.matrices import uniform_matrix
+
+            router = RouteBricksRouter(num_nodes=nodes, seed=args.seed)
+            workload = WorkloadSpec.fixed(args.size).with_matrix(
+                uniform_matrix(nodes, router.port_rate_bps * 0.3))
+            registry = MetricsRegistry(enabled=True, trace_sample_every=16,
+                                       profile=True)
+            try:
+                report = simulate_parallel(
+                    router, workload, until=args.duration_ms * 1e-3,
+                    workers=args.workers, backend="inline",
+                    metrics=registry)
+            except ReproError as error:
+                print("error: %s" % error, file=sys.stderr)
+                return 2
+            print("ran %s: %d epochs across %d partitions, "
+                  "lookahead efficiency %.2f, imbalance %.2f"
+                  % (target, report.epochs, report.workers,
+                     report.lookahead_efficiency, report.load_imbalance))
+            name = target.lower()
+            snapshot = registry.snapshot()
+        trace_doc = chrome_trace(name, snapshot)
+        path = write_trace_json(trace_doc, pathlib.Path(args.out_dir))
+        meta = trace_doc["metadata"]
+        print("timeline %s: %d events (%d spans) on %d track(s) -> %s"
+              % (name, meta["events"], meta["spans"], len(meta["tracks"]),
+                 path))
+        for track in meta["tracks"]:
+            print("  %s" % track)
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+        return 0
+
     if args.action == "report":
         from .obs.schema import validate_bench
 
@@ -704,11 +774,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("obs",
                        help="instrumented benchmark runs and regression "
                             "diffs (BENCH_*.json)")
-    p.add_argument("action", choices=["run", "report", "diff", "explain"])
+    p.add_argument("action",
+                   choices=["run", "report", "diff", "explain", "timeline"])
     p.add_argument("names", nargs="*",
                    help="run: benchmark names (bench_ prefix optional); "
                         "report: one BENCH json; diff: baseline + current; "
-                        "explain: a preset pipeline or a BENCH json")
+                        "explain: a preset pipeline or a BENCH json; "
+                        "timeline: an rbN preset or a BENCH json")
     p.add_argument("--quick", action="store_true",
                    help="run: the fast CI subset")
     p.add_argument("--all", action="store_true",
@@ -726,9 +798,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="diff: also gate wall-time scalars (noisy on "
                         "shared machines)")
     p.add_argument("--size", type=int, default=64,
-                   help="explain: packet size in bytes (default 64)")
+                   help="explain/timeline: packet size in bytes "
+                        "(default 64)")
     p.add_argument("--duration-ms", type=float, default=1.0,
-                   help="explain: DES run length in milliseconds")
+                   help="explain/timeline: DES run length in milliseconds")
+    p.add_argument("--workers", type=int, default=2,
+                   help="timeline: partitions for an rbN preset run "
+                        "(default 2)")
     p.set_defaults(func=_cmd_obs)
     return parser
 

@@ -94,6 +94,17 @@ class SimulationReport(RunResult):
     #: (index = partition id).  ``max`` of this list is the parallel
     #: critical path; empty for single-sim runs.
     partition_busy_seconds: List[float] = field(default_factory=list)
+    #: Wall seconds each partition spent stalled at epoch barriers
+    #: waiting for the slowest sibling (index = partition id; empty for
+    #: single-sim runs).  ``busy + wait`` per partition approximates the
+    #: run's wall clock under the process backend.
+    barrier_wait_seconds: List[float] = field(default_factory=list)
+    #: Mean epoch length over the conservative-lookahead window ``W``
+    #: (1.0 = every epoch spans the full window; 0 for single-sim runs).
+    lookahead_efficiency: float = 0.0
+    #: Busiest partition's busy seconds over the mean (1.0 = perfectly
+    #: balanced; 0 for single-sim runs).
+    load_imbalance: float = 0.0
 
     @property
     def delivery_ratio(self) -> float:

@@ -25,6 +25,11 @@ Three layers:
   :mod:`repro.obs.compare` diffs against a committed baseline -- the
   CI perf-regression gate and ``python -m repro obs {run,report,diff}``
   both consume exactly these.
+* :mod:`repro.obs.timeline` -- :func:`chrome_trace` renders any metrics
+  snapshot (live or from a BENCH document) as a Perfetto-loadable
+  Chrome-trace-event ``TRACE_<name>.json``: parallel epoch/barrier
+  spans, profiler flame charts, and stitched packet journeys
+  (``python -m repro obs timeline``).
 
 Metric names charged by the built-in instrumentation:
 
@@ -74,13 +79,21 @@ from .profile import (
     decompose_trace,
     trace_delivered,
 )
+from .timeline import chrome_trace, write_trace_json
 from .trace import PathTrace, TraceSampler, trace_of
 
-from .schema import BASELINE_SCHEMA, BENCH_SCHEMA, validate_bench
+from .schema import (
+    BASELINE_SCHEMA,
+    BENCH_SCHEMA,
+    TRACE_SCHEMA,
+    validate_bench,
+    validate_trace,
+)
 
 __all__ = [
     "BASELINE_SCHEMA",
     "BENCH_SCHEMA",
+    "TRACE_SCHEMA",
     "Counter",
     "Delta",
     "ExplainReport",
@@ -96,6 +109,7 @@ __all__ = [
     "TraceSampler",
     "active_registry",
     "aggregate_breakdowns",
+    "chrome_trace",
     "compare_docs",
     "decompose_trace",
     "discover",
@@ -109,5 +123,7 @@ __all__ = [
     "trace_of",
     "use_registry",
     "validate_bench",
+    "validate_trace",
     "write_bench_json",
+    "write_trace_json",
 ]

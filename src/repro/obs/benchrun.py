@@ -68,10 +68,11 @@ QUICK_BENCHMARKS = (
 #: Numeric dict keys harvested as rate scalars.
 _RATE_KEY_HINTS = ("gbps", "mpps", "mbps", "pps", "rate")
 #: Numeric dict keys harvested as kind="perf" scalars: engine-speed
-#: figures (events/s, parallel speedup, worker counts) that the
-#: regression checker surfaces but never gates on -- they track the
-#: machine as much as the code.
-_PERF_KEY_HINTS = ("events_per_sec", "speedup", "workers")
+#: figures (events/s, parallel speedup, worker counts, barrier/epoch
+#: telemetry) that the regression checker surfaces but never gates on --
+#: they track the machine as much as the code.
+_PERF_KEY_HINTS = ("events_per_sec", "speedup", "workers",
+                   "barrier_wait", "lookahead", "imbalance")
 #: String dict keys recorded verbatim (e.g. which resource binds).
 _LABEL_KEY_HINTS = ("binding", "bottleneck")
 
@@ -246,6 +247,32 @@ def _registry_counts(registry: MetricsRegistry) -> Dict[str, float]:
     return out
 
 
+def _parallel_perf_scalars(registry: MetricsRegistry) -> Dict[str, float]:
+    """Epoch/barrier telemetry the parallel runner charged, as ``perf``
+    scalars keyed by worker count (``run.imbalance{workers=4}``, ...).
+    Barrier wait is summed over partitions -- the aggregate stall the
+    sweep paid at that worker count."""
+    from .timeline import _parse_labels
+
+    out: Dict[str, float] = {}
+    for metric, key in (("parallel_lookahead_efficiency",
+                         "lookahead_efficiency"),
+                        ("parallel_imbalance", "imbalance")):
+        gauge = registry.get(metric)
+        if gauge is not None:
+            for label_str, value in gauge.series().items():
+                out["run.%s%s" % (key, label_str)] = value
+    wait = registry.get("parallel_barrier_wait_seconds")
+    if wait is not None:
+        per_workers: Dict[str, float] = {}
+        for label_str, value in wait.series().items():
+            workers = _parse_labels(label_str).get("workers", "?")
+            key = "run.barrier_wait_seconds{workers=%s}" % workers
+            per_workers[key] = per_workers.get(key, 0.0) + value
+        out.update(per_workers)
+    return out
+
+
 def run_benchmark(name: str, seed: int = DEFAULT_SEED,
                   root: Optional[pathlib.Path] = None,
                   trace_sample_every: int = 64) -> dict:
@@ -335,6 +362,8 @@ def run_benchmark(name: str, seed: int = DEFAULT_SEED,
     if workers_gauge is not None:
         scalars["run.workers"] = {"value": workers_gauge.value(),
                                   "kind": "perf"}
+    for key, value in _parallel_perf_scalars(registry).items():
+        scalars[key] = {"value": value, "kind": "perf"}
 
     wall = time.perf_counter() - wall_start
     scalars["run.wall_time_sec"] = {"value": wall, "kind": "time"}
@@ -395,6 +424,13 @@ def write_bench_json(doc: dict, out_dir: pathlib.Path) -> pathlib.Path:
     if collapsed:
         profile_path = out_dir / ("PROFILE_%s.collapsed" % doc["name"])
         profile_path.write_text("\n".join(collapsed) + "\n")
+    # Sidecar: the Perfetto-loadable timeline of the same run (epochs,
+    # barriers, profiler frames, sampled packet journeys).  Skipped when
+    # the snapshot yields no events at all.
+    from .timeline import chrome_trace, write_trace_json
+    trace_doc = chrome_trace(doc["name"], doc.get("metrics") or {})
+    if trace_doc["traceEvents"]:
+        write_trace_json(trace_doc, out_dir)
     return path
 
 

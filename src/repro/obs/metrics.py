@@ -115,6 +115,21 @@ class Gauge(Metric):
         key = _label_key(labels)
         self._series[key] = self._series.get(key, 0.0) + delta
 
+    def bind(self, **labels):
+        """A pre-resolved setter for one label set (see
+        :meth:`Counter.bind`).
+
+        Last-writer-wins, like :meth:`set`; the parallel epoch loop
+        binds one setter per partition and updates it every barrier.
+        """
+        key = _label_key(labels)
+        series = self._series
+
+        def set(value: float) -> None:
+            series[key] = float(value)
+
+        return set
+
     def value(self, **labels) -> float:
         return self._series.get(_label_key(labels), 0.0)
 

@@ -18,6 +18,12 @@ from typing import List
 BENCH_SCHEMA = "repro.bench/2"
 #: Schema tag for the committed multi-benchmark baseline.
 BASELINE_SCHEMA = "repro.bench-baseline/1"
+#: Schema tag for ``TRACE_<name>.json`` Chrome-trace-event timelines
+#: (:mod:`repro.obs.timeline`).  The tag rides in the document's
+#: ``metadata`` object; the ``traceEvents`` payload itself follows the
+#: (external) Chrome trace event format so Perfetto and
+#: ``chrome://tracing`` load it unmodified.
+TRACE_SCHEMA = "repro.trace-timeline/1"
 
 #: Scalar kinds the regression checker knows how to compare.
 #: ``rate``  -- higher is better (Gbps, Mpps, ...)
@@ -98,6 +104,75 @@ def validate_bench(doc) -> List[str]:
                 errors.append("explain.latency is not an object or null")
             if not isinstance(explain.get("top_frames", []), list):
                 errors.append("explain.top_frames is not a list")
+    return errors
+
+
+#: Chrome trace event phases the exporter emits: complete spans,
+#: process/thread metadata, counter samples, and instants.
+_TRACE_PHASES = ("X", "M", "C", "i")
+
+
+def validate_trace(doc) -> List[str]:
+    """Structural check of one TRACE (Chrome trace event) document.
+
+    Validates the subset of the Chrome trace event format the exporter
+    emits -- enough for Perfetto to load the file: a ``traceEvents``
+    list of "X"/"M"/"C"/"i" events with numeric microsecond timestamps,
+    integer pid/tid, and per-phase required fields.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    meta = doc.get("metadata")
+    if not isinstance(meta, dict):
+        errors.append("missing 'metadata' object")
+    elif meta.get("schema") != TRACE_SCHEMA:
+        errors.append("metadata.schema is %r, this tool reads %r"
+                      % (meta.get("schema"), TRACE_SCHEMA))
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        errors.append("displayTimeUnit must be 'ms' or 'ns'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return errors + ["missing 'traceEvents' list"]
+    for index, event in enumerate(events):
+        where = "traceEvents[%d]" % index
+        if not isinstance(event, dict):
+            errors.append("%s is not an object" % where)
+            continue
+        phase = event.get("ph")
+        if phase not in _TRACE_PHASES:
+            errors.append("%s.ph %r not in %s" % (where, phase,
+                                                  _TRACE_PHASES))
+            continue
+        if not isinstance(event.get("pid"), int):
+            errors.append("%s.pid is not an integer" % where)
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append("%s.name is not a non-empty string" % where)
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool) \
+                    or ts < 0:
+                errors.append("%s.ts is not a microsecond timestamp >= 0"
+                              % where)
+        if phase == "X":
+            if not isinstance(event.get("tid"), int):
+                errors.append("%s.tid is not an integer" % where)
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) \
+                    or dur < 0:
+                errors.append("%s.dur is not a duration >= 0" % where)
+        elif phase == "M":
+            args = event.get("args")
+            if not isinstance(args, dict) \
+                    or not isinstance(args.get("name"), str):
+                errors.append("%s metadata needs args.name" % where)
+        elif phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                    isinstance(v, (int, float)) and not isinstance(v, bool)
+                    for v in args.values()):
+                errors.append("%s counter needs numeric args" % where)
     return errors
 
 

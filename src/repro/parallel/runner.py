@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from time import process_time
+from time import perf_counter, process_time
 from typing import List, Optional, Tuple
 
 from ..core.partition import (
@@ -162,7 +162,7 @@ class _InlineBackend:
             self.busy[pid] += busy
             if sample:
                 part.sample_barrier()
-            out.append((outbox, part.peek_time()))
+            out.append((outbox, part.peek_time(), busy))
         return out
 
     def finish(self) -> List[PartitionFragment]:
@@ -204,7 +204,7 @@ class _ProcessBackend:
         for pid, future in enumerate(futures):
             outbox, peek, busy = future.result()
             self.busy[pid] += busy
-            out.append((outbox, peek))
+            out.append((outbox, peek, busy))
         return out
 
     def finish(self) -> List[PartitionFragment]:
@@ -306,6 +306,64 @@ def simulate_parallel(router: RouteBricksRouter,
 
     driver = (_InlineBackend(specs) if backend == "inline"
               else _ProcessBackend(specs))
+
+    # -- epoch/barrier telemetry ------------------------------------------
+    # Totals feed the report unconditionally (they cost one float add per
+    # partition per epoch); the per-epoch timelines and cumulative gauges
+    # are charged only when a registry is observing.  Barrier wait is
+    # reconstructed from the epoch's wall clock: under the process
+    # backend a partition stalls for ``epoch_wall - its busy``; under the
+    # inline backend the same formula charges each partition the time its
+    # siblings ran, i.e. the stall an actual parallel run would have hit.
+    busy_totals = [0.0] * workers
+    wait_totals = [0.0] * workers
+    sim_covered = 0.0
+    if observe:
+        epoch_busy_rec = [registry.timeline(
+            "parallel_epoch_busy_seconds",
+            help="per-epoch CPU seconds per partition, binned at the "
+                 "epoch's end time").bind(workers=workers, partition=pid)
+            for pid in range(workers)]
+        epoch_wait_rec = [registry.timeline(
+            "parallel_epoch_barrier_seconds",
+            help="per-epoch barrier-stall wall seconds per partition")
+            .bind(workers=workers, partition=pid)
+            for pid in range(workers)]
+        transit_rec = [registry.timeline(
+            "parallel_transit_records",
+            help="cross-partition transit records delivered into each "
+                 "partition, binned at the carrying barrier")
+            .bind(workers=workers, partition=pid)
+            for pid in range(workers)]
+        transit_bytes_rec = [registry.timeline(
+            "parallel_transit_bytes",
+            help="frame bytes riding cross-partition transit records")
+            .bind(workers=workers, partition=pid)
+            for pid in range(workers)]
+        busy_gauge = [registry.gauge(
+            "parallel_busy_seconds",
+            help="cumulative CPU seconds per partition")
+            .bind(workers=workers, partition=pid) for pid in range(workers)]
+        wait_gauge = [registry.gauge(
+            "parallel_barrier_wait_seconds",
+            help="cumulative barrier-stall wall seconds per partition")
+            .bind(workers=workers, partition=pid) for pid in range(workers)]
+        epoch_len_obs = registry.histogram(
+            "parallel_epoch_sim_seconds",
+            help="simulated seconds covered per epoch (<= the lookahead "
+                 "window W)").bind(workers=workers)
+
+    def charge_epoch(results, epoch_wall, epoch_end):
+        for pid, (_, _, busy) in enumerate(results):
+            wait = max(0.0, epoch_wall - busy)
+            busy_totals[pid] += busy
+            wait_totals[pid] += wait
+            if observe:
+                epoch_busy_rec[pid](epoch_end, busy)
+                epoch_wait_rec[pid](epoch_end, wait)
+                busy_gauge[pid](busy_totals[pid])
+                wait_gauge[pid](wait_totals[pid])
+
     try:
         state = driver.init_state()
         peeks: List[Optional[float]] = [peek for peek, _ in state]
@@ -337,20 +395,37 @@ def simulate_parallel(router: RouteBricksRouter,
                 any(peeks[q] is not None for q in range(workers) if q != pid)
                 or any(inboxes[q] for q in range(workers) if q != pid)
                 for pid in range(workers)]
+            wall_start = perf_counter()
             results = driver.advance_all(epoch_end, inboxes, keep_alive,
                                          sample)
+            epoch_wall = perf_counter() - wall_start
             epochs += 1
+            sim_covered += max(0.0, epoch_end - earliest)
+            charge_epoch(results, epoch_wall, epoch_end)
+            if observe:
+                epoch_len_obs(max(0.0, epoch_end - earliest))
             inboxes = [[] for _ in range(workers)]
-            for pid, (outbox, peek) in enumerate(results):
+            for pid, (outbox, peek, _) in enumerate(results):
                 peeks[pid] = peek
                 for record in outbox:
                     inboxes[assignment[record.dst_node]].append(record)
+            if observe:
+                for pid, inbox in enumerate(inboxes):
+                    if inbox:
+                        transit_rec[pid](epoch_end, len(inbox))
+                        transit_bytes_rec[pid](
+                            epoch_end,
+                            sum(r.frame_bytes() for r in inbox))
         # Tail barrier: no executable events remain at or before the
         # horizon, so advancing everyone to it runs nothing -- it only
         # pins each clock to ``until`` (undelivered records, if any, are
         # injected as future events exactly as the single sim would
-        # leave them pending).
-        driver.advance_all(until, inboxes, [False] * workers, False)
+        # leave them pending).  Charged as a final (non-epoch) barrier so
+        # the telemetry sums match each fragment's ``busy_seconds``.
+        wall_start = perf_counter()
+        results = driver.advance_all(until, inboxes, [False] * workers,
+                                     False)
+        charge_epoch(results, perf_counter() - wall_start, until)
         fragments = driver.finish()
     finally:
         driver.close()
@@ -359,6 +434,12 @@ def simulate_parallel(router: RouteBricksRouter,
         fragments, offered_packets=offered, duration_sec=until,
         workers=workers, epochs=epochs,
         registry=registry if observe else None)
+    report.barrier_wait_seconds = wait_totals
+    report.lookahead_efficiency = (
+        sim_covered / (epochs * window) if epochs else 0.0)
+    mean_busy = sum(busy_totals) / workers
+    report.load_imbalance = (max(busy_totals) / mean_busy
+                             if mean_busy > 0 else 0.0)
     if observe:
         run_info = registry.gauge(
             "run_workers", help="partitions driving this run")
@@ -366,4 +447,12 @@ def simulate_parallel(router: RouteBricksRouter,
         registry.gauge(
             "run_epochs",
             help="conservative-lookahead epochs executed").set(epochs)
+        registry.gauge(
+            "parallel_lookahead_efficiency",
+            help="mean epoch length over the lookahead window W").set(
+                report.lookahead_efficiency, workers=workers)
+        registry.gauge(
+            "parallel_imbalance",
+            help="busiest partition busy seconds over the mean").set(
+                report.load_imbalance, workers=workers)
     return report

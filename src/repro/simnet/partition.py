@@ -44,6 +44,15 @@ class TransitRecord(NamedTuple):
     dst_node: int
     wire: tuple
 
+    def frame_bytes(self) -> int:
+        """Frame length of the carried packet, for barrier byte-volume
+        accounting.  ``wire[1]`` is ``Packet.to_wire()``'s length field;
+        non-packet payloads (not used today) would report 0."""
+        try:
+            return int(self.wire[1])
+        except (TypeError, ValueError, IndexError):
+            return 0
+
 
 class CrossLink(Link):
     """A link whose receive side lives on another partition.

@@ -162,6 +162,38 @@ class TestCliObs:
                      "--out-dir", str(tmp_path)]) == 2
         capsys.readouterr()
 
+    def test_timeline_preset(self, tmp_path, capsys):
+        from repro.obs.schema import validate_trace
+
+        assert main(["obs", "timeline", "rb4", "--out-dir", str(tmp_path),
+                     "--duration-ms", "0.4"]) == 0
+        doc = json.loads((tmp_path / "TRACE_rb4.json").read_text())
+        assert validate_trace(doc) == []
+        assert doc["traceEvents"]
+        out = capsys.readouterr().out
+        assert "perfetto" in out.lower()
+
+    def test_timeline_from_bench_json(self, bench_doc, tmp_path, capsys):
+        from repro.obs.schema import validate_trace
+
+        path = write_bench_json(bench_doc, tmp_path)
+        assert main(["obs", "timeline", str(path),
+                     "--out-dir", str(tmp_path)]) == 0
+        doc = json.loads(
+            (tmp_path / ("TRACE_%s.json" % BENCH_NAME)).read_text())
+        assert validate_trace(doc) == []
+        capsys.readouterr()
+
+    def test_timeline_rejects_bad_targets(self, tmp_path, capsys):
+        assert main(["obs", "timeline", "nope",
+                     "--out-dir", str(tmp_path)]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["obs", "timeline", str(bad),
+                     "--out-dir", str(tmp_path)]) == 2
+        assert main(["obs", "timeline"]) == 2
+        capsys.readouterr()
+
 
 class TestRegressionScript:
     SCRIPT = str(REPO_ROOT / "scripts" / "check_bench_regression.py")
@@ -269,3 +301,82 @@ class TestRegressionScript:
         deltas = compare.compare_docs(committed, doc)
         assert deltas, "baseline has no rate scalars for %s" % BENCH_NAME
         assert all(not d.regressed for d in deltas)
+
+    def test_perf_section_reports_parallel_scalars(self, bench_doc,
+                                                   tmp_path):
+        """Satellite: barrier/lookahead/imbalance perf scalars show up
+        in the informational perf section and never gate."""
+        doc = copy.deepcopy(bench_doc)
+        doc["scalars"]["run.barrier_wait_seconds{workers=2}"] = {
+            "value": 0.5, "kind": "perf"}
+        doc["scalars"]["run.lookahead_efficiency{workers=2}"] = {
+            "value": 0.97, "kind": "perf"}
+        doc["scalars"]["run.imbalance{workers=2}"] = {
+            "value": 1.2, "kind": "perf"}
+        write_bench_json(doc, tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            make_baseline([doc], created_unix=0.0)))
+        proc = self._run("--baseline", str(baseline),
+                         "--results-dir", str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "parallel-runtime perf (informational, never gates)" \
+            in proc.stdout
+        for key in ("barrier_wait_seconds", "lookahead_efficiency",
+                    "imbalance"):
+            assert key in proc.stdout
+
+
+class TestParallelTelemetryHarvest:
+    def _parallel_registry(self):
+        from repro.core import RouteBricksRouter
+        from repro.obs.metrics import MetricsRegistry
+        from repro.parallel import simulate_parallel
+        from repro.workloads import WorkloadSpec
+        from repro.workloads.matrices import uniform_matrix
+
+        router = RouteBricksRouter(num_nodes=4, seed=7)
+        workload = WorkloadSpec.fixed(64).with_matrix(
+            uniform_matrix(4, router.port_rate_bps * 0.3))
+        registry = MetricsRegistry(enabled=True)
+        simulate_parallel(router, workload, until=4e-4, workers=2,
+                          backend="inline", metrics=registry)
+        return registry
+
+    def test_parallel_perf_scalars_harvested(self):
+        from repro.obs.benchrun import _parallel_perf_scalars
+
+        scalars = _parallel_perf_scalars(self._parallel_registry())
+        assert scalars["run.barrier_wait_seconds{workers=2}"] > 0.0
+        assert 0.0 < scalars["run.lookahead_efficiency{workers=2}"] <= 1.0
+        assert scalars["run.imbalance{workers=2}"] >= 1.0
+
+    def test_empty_registry_harvests_nothing(self):
+        from repro.obs.benchrun import _parallel_perf_scalars
+        from repro.obs.metrics import MetricsRegistry
+
+        assert _parallel_perf_scalars(MetricsRegistry(enabled=True)) == {}
+
+
+class TestTraceSidecar:
+    def test_analytic_scenario_skips_trace_sidecar(self, bench_doc,
+                                                   tmp_path):
+        # fig6 charges no timelines, profile frames, or sampled traces:
+        # an all-empty timeline would only confuse Perfetto users.
+        write_bench_json(bench_doc, tmp_path)
+        assert not list(tmp_path.glob("TRACE_*.json"))
+
+    def test_sidecar_written_when_snapshot_has_events(self, bench_doc,
+                                                      tmp_path):
+        from repro.obs.schema import validate_trace
+
+        doc = copy.deepcopy(bench_doc)
+        doc["name"] = "mini_parallel"
+        registry = TestParallelTelemetryHarvest()._parallel_registry()
+        doc["metrics"] = registry.snapshot()
+        write_bench_json(doc, tmp_path)
+        trace = tmp_path / "TRACE_mini_parallel.json"
+        assert trace.exists()
+        exported = json.loads(trace.read_text())
+        assert validate_trace(exported) == []
+        assert any(e["ph"] == "X" for e in exported["traceEvents"])

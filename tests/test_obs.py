@@ -48,6 +48,20 @@ class TestCounterGauge:
         g.add(-3, queue="rx0")
         assert g.value(queue="rx0") == 7
 
+    def test_gauge_bind_matches_set(self):
+        # Same semantics as Counter/Histogram/Timeline .bind(): a
+        # pre-resolved last-writer-wins setter for one label set.
+        g = Gauge("busy")
+        setter = g.bind(workers=2, partition=0)
+        assert len(g) == 0  # binding alone creates no series
+        setter(1.5)
+        setter(2.5)
+        assert g.value(workers=2, partition=0) == 2.5
+        g.set(9.0, partition=0, workers=2)  # same series, either path
+        assert g.value(workers=2, partition=0) == 9.0
+        setter(3.0)
+        assert g.series() == {"{partition=0,workers=2}": 3.0}
+
 
 class TestHistogram:
     def test_quantiles_are_exact_on_small_sets(self):
