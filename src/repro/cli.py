@@ -312,6 +312,91 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_control(args) -> int:
+    import math
+    import re
+
+    from .control import ChurnSchedule, run_churn
+
+    match = re.fullmatch(r"rb(\d+)", args.topology.lower())
+    if not match:
+        print("error: topology must look like rb4/rb8/rb32, got %r"
+              % args.topology, file=sys.stderr)
+        return 2
+    nodes = int(match.group(1))
+    duration = args.duration_ms * 1e-3
+
+    if args.action == "churn":
+        # Convergence vs update rate sweep.
+        try:
+            rates = [float(rate) for rate in args.rates.split(",")]
+        except ValueError:
+            print("error: --rates must be a comma list of numbers, got %r"
+                  % args.rates, file=sys.stderr)
+            return 2
+        rows = []
+        for rate in rates:
+            report = run_churn(num_nodes=nodes, routes=args.routes,
+                               update_rate_per_sec=rate,
+                               duration_sec=duration, load=args.load,
+                               packet_bytes=args.size, seed=args.seed)
+            rows.append({
+                "update_rate": rate,
+                "applied": report.updates_applied,
+                "fib_ops": report.fib_ops,
+                "mean_conv_usec": report.mean_convergence_usec,
+                "max_conv_usec": report.max_convergence_sec * 1e6,
+                "final_conv_usec": report.final_convergence_usec,
+                "fwd_gbps": report.forwarding.delivered_bps / 1e9,
+                "p99_usec": report.forwarding.latency_usec.percentile(99),
+                "consistent": report.consistent,
+            })
+        print(format_table(rows, title="Convergence vs update rate, "
+                                       "%d nodes, %d routes"
+                           % (nodes, args.routes)))
+        return 0
+
+    # action == "run": one forwarding run, optionally with live churn.
+    burst = None
+    if args.burst is not None:
+        burst = (args.burst, duration / 4, 3)
+    report = run_churn(
+        num_nodes=nodes, routes=args.routes,
+        update_rate_per_sec=args.update_rate,
+        duration_sec=duration, burst=burst,
+        load=args.load, packet_bytes=args.size, seed=args.seed,
+        schedule=None if args.churn else ChurnSchedule([]))
+    fwd = report.forwarding
+    print("cluster: %d nodes, %d-route RIB, %g%% load, FIB-routed"
+          % (nodes, args.routes, args.load * 100))
+    print("offered %d, delivered %d, fib-miss %d (delivery %.1f%%)"
+          % (fwd.offered_packets, fwd.delivered_packets,
+             fwd.fib_miss_packets, fwd.delivery_ratio * 100))
+    print("goodput: %.2f Gbps over %.2f ms"
+          % (fwd.delivered_bps / 1e9, fwd.duration_sec * 1e3))
+    if report.updates_offered:
+        print("churn: %d updates applied (%d announce, %d reannounce, "
+              "%d withdraw, %d skipped) at %.0f/s"
+              % (report.updates_applied, report.announced,
+                 report.reannounced, report.withdrawn, report.skipped,
+                 report.update_rate_per_sec))
+        print("fib sync: %d ops over %d ticks, %d rebuilds"
+              % (report.fib_ops, report.sync_ticks, report.rebuilds))
+        final = ("%.0f us" % report.final_convergence_usec
+                 if not math.isnan(report.final_convergence_sec)
+                 else "pending (%d updates undistributed)"
+                 % report.unconverged)
+        print("convergence: mean %.0f us, max %.0f us, final %s"
+              % (report.mean_convergence_usec,
+                 report.max_convergence_sec * 1e6, final))
+    else:
+        print("churn: none (pass --churn to stream RIB updates)")
+    print("consistency: %s (%d probes vs trie reference)"
+          % ("OK" if report.consistent else "MISMATCH",
+             report.verified_probes))
+    return 0 if report.consistent else 1
+
+
 def _cmd_parallel(args) -> int:
     import re
 
@@ -721,6 +806,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run: peer/control failure-detection latency")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser("control",
+                       help="live control plane: RIB churn streamed into "
+                            "the forwarding cluster's FIBs")
+    p.add_argument("action", choices=["run", "churn"])
+    p.add_argument("topology", nargs="?", default="rb4",
+                   help="cluster size as rbN (default rb4)")
+    p.add_argument("--churn", action="store_true",
+                   help="run: stream RIB updates during forwarding")
+    p.add_argument("--routes", type=int, default=20000,
+                   help="synthetic RIB size (default 20000)")
+    p.add_argument("--update-rate", type=float, default=2e5,
+                   help="mean update rate per second (measured-rate "
+                        "churn; compressed timescale)")
+    p.add_argument("--burst", type=int, default=None,
+                   help="run: burst mode, N updates per storm (3 storms)")
+    p.add_argument("--rates", default="1e5,4e5",
+                   help="churn: comma list of update rates to sweep")
+    p.add_argument("--load", type=float, default=0.2,
+                   help="offered load as a fraction of port rate")
+    p.add_argument("--size", type=int, default=256, help="frame bytes")
+    p.add_argument("--duration-ms", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_control)
 
     p = sub.add_parser("parallel",
                        help="partitioned cluster DES across worker "

@@ -1,0 +1,29 @@
+"""Live control plane: BGP-like churn streamed into running FIBs.
+
+The :mod:`repro.core.control` module owns cluster membership and the
+master RIB; this package drives it *during* a simulation -- timestamped
+update streams (:class:`ChurnSchedule`), a DES-clock driver that applies
+them and syncs per-node ``Dir24_8`` tables incrementally
+(:class:`ChurnDriver`), and an end-to-end experiment runner
+(:func:`run_churn`) measuring convergence and the forwarding latency
+tail under churn.
+"""
+
+from .churn import ChurnSchedule, TimedUpdate
+from .driver import DEFAULT_SYNC_INTERVAL_SEC, ChurnDriver
+from .runner import (INTERNET_RIB_ENTRIES, ChurnReport, announce_rib,
+                     build_cluster, probe_addresses, run_churn, verify_fibs)
+
+__all__ = [
+    "ChurnSchedule",
+    "TimedUpdate",
+    "ChurnDriver",
+    "DEFAULT_SYNC_INTERVAL_SEC",
+    "INTERNET_RIB_ENTRIES",
+    "ChurnReport",
+    "announce_rib",
+    "build_cluster",
+    "probe_addresses",
+    "run_churn",
+    "verify_fibs",
+]

@@ -1,0 +1,185 @@
+"""Timestamped BGP-like update streams for the control plane.
+
+A :class:`ChurnSchedule` is a time-ordered sequence of announce /
+re-announce / withdraw operations against the master RIB, mirroring what
+a BGP feed does to a default-free-zone router.  Two shapes matter for
+the convergence experiments:
+
+* **measured rate** -- updates as a Poisson process at a configurable
+  mean rate, the steady-state churn a DFZ table sees (tens of updates
+  per second on average, circa 2009);
+* **bursts** -- clumps of updates at intervals, the path-exploration
+  storms that follow a session reset or a prefix flap.
+
+The generator draws prefix lengths from the same distribution as the
+synthetic RIB (:data:`~repro.routing.rib_gen.PREFIX_LENGTH_MIX`) and
+keeps its own view of the installed set, so withdrawals always name an
+announced prefix and fresh announcements never collide.  Deterministic
+per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..net.addresses import Prefix
+from ..routing.rib_gen import PREFIX_LENGTH_MIX
+
+
+@dataclass(frozen=True)
+class TimedUpdate:
+    """One control-plane update at a simulation timestamp.
+
+    ``port is None`` withdraws the prefix; otherwise the prefix is
+    announced on (or moved to) that external port.
+    """
+
+    time: float
+    prefix: Prefix
+    port: Optional[int]
+
+    @property
+    def is_withdrawal(self) -> bool:
+        return self.port is None
+
+
+class _UpdateMixer:
+    """Stateful announce/re-announce/withdraw mix over an installed set."""
+
+    def __init__(self, installed: Iterable[Prefix], num_ports: int,
+                 withdraw_fraction: float, reannounce_fraction: float,
+                 rng: random.Random):
+        if not 0 <= withdraw_fraction <= 1 \
+                or not 0 <= reannounce_fraction <= 1:
+            raise ConfigurationError("fractions must be in [0, 1]")
+        if withdraw_fraction + reannounce_fraction > 1:
+            raise ConfigurationError("fractions exceed 1")
+        if num_ports < 1:
+            raise ConfigurationError("need >= 1 port")
+        self.installed: List[Prefix] = list(installed)
+        self.seen = set(self.installed)
+        if len(self.seen) != len(self.installed):
+            raise ConfigurationError("installed prefixes must be unique")
+        self.num_ports = num_ports
+        self.withdraw_fraction = withdraw_fraction
+        self.reannounce_fraction = reannounce_fraction
+        self.rng = rng
+        self._lengths, self._weights = zip(*PREFIX_LENGTH_MIX)
+
+    def _fresh_prefix(self) -> Prefix:
+        while True:
+            length = self.rng.choices(self._lengths,
+                                      weights=self._weights)[0]
+            addr = (self.rng.randint(1, 223) << 24) \
+                | self.rng.getrandbits(24)
+            prefix = Prefix.from_address(addr, length)
+            if prefix not in self.seen:
+                return prefix
+
+    def next_op(self):
+        """(prefix, port-or-None) for the next update."""
+        roll = self.rng.random()
+        if roll < self.withdraw_fraction and self.installed:
+            index = self.rng.randrange(len(self.installed))
+            prefix = self.installed.pop(index)
+            self.seen.discard(prefix)
+            return prefix, None
+        port = self.rng.randrange(self.num_ports)
+        if roll < self.withdraw_fraction + self.reannounce_fraction \
+                and self.installed:
+            prefix = self.installed[self.rng.randrange(len(self.installed))]
+            return prefix, port
+        prefix = self._fresh_prefix()
+        self.installed.append(prefix)
+        self.seen.add(prefix)
+        return prefix, port
+
+
+class ChurnSchedule:
+    """A time-ordered stream of :class:`TimedUpdate` operations."""
+
+    def __init__(self, updates: Sequence[TimedUpdate]):
+        updates = list(updates)
+        for earlier, later in zip(updates, updates[1:]):
+            if later.time < earlier.time:
+                raise ConfigurationError(
+                    "updates must be time-ordered (%g after %g)"
+                    % (later.time, earlier.time))
+        self._updates = updates
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[TimedUpdate]:
+        return iter(self._updates)
+
+    @property
+    def duration_sec(self) -> float:
+        """Span from the first to the last update."""
+        if not self._updates:
+            return 0.0
+        return self._updates[-1].time - self._updates[0].time
+
+    @property
+    def mean_rate_per_sec(self) -> float:
+        """Mean update rate over the schedule's span."""
+        span = self.duration_sec
+        return (len(self._updates) - 1) / span if span > 0 else 0.0
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def measured_rate(cls, installed: Iterable[Prefix], *,
+                      rate_per_sec: float, duration_sec: float,
+                      num_ports: int = 4,
+                      withdraw_fraction: float = 0.3,
+                      reannounce_fraction: float = 0.4,
+                      start_sec: float = 0.0,
+                      seed: int = 0) -> "ChurnSchedule":
+        """Poisson-process churn at a mean ``rate_per_sec`` over
+        ``duration_sec`` (the steady-state BGP-feed shape)."""
+        if rate_per_sec <= 0 or duration_sec <= 0:
+            raise ConfigurationError("rate and duration must be positive")
+        rng = random.Random(seed)
+        mixer = _UpdateMixer(installed, num_ports,
+                             withdraw_fraction, reannounce_fraction, rng)
+        updates = []
+        now = start_sec
+        horizon = start_sec + duration_sec
+        while True:
+            now += rng.expovariate(rate_per_sec)
+            if now >= horizon:
+                break
+            prefix, port = mixer.next_op()
+            updates.append(TimedUpdate(time=now, prefix=prefix, port=port))
+        return cls(updates)
+
+    @classmethod
+    def bursts(cls, installed: Iterable[Prefix], *,
+               burst_updates: int, interval_sec: float, bursts: int,
+               num_ports: int = 4,
+               withdraw_fraction: float = 0.3,
+               reannounce_fraction: float = 0.4,
+               start_sec: float = 0.0,
+               seed: int = 0) -> "ChurnSchedule":
+        """Update storms: ``bursts`` clumps of ``burst_updates`` back-to-
+        back operations, one clump every ``interval_sec`` (session-reset
+        path exploration)."""
+        if burst_updates < 1 or bursts < 1:
+            raise ConfigurationError("burst sizes must be >= 1")
+        if interval_sec <= 0:
+            raise ConfigurationError("interval must be positive")
+        rng = random.Random(seed)
+        mixer = _UpdateMixer(installed, num_ports,
+                             withdraw_fraction, reannounce_fraction, rng)
+        updates = []
+        for burst in range(bursts):
+            at = start_sec + burst * interval_sec
+            for _ in range(burst_updates):
+                prefix, port = mixer.next_op()
+                updates.append(TimedUpdate(time=at, prefix=prefix,
+                                           port=port))
+        return cls(updates)

@@ -1,0 +1,164 @@
+"""Apply a :class:`~repro.control.churn.ChurnSchedule` on the DES clock.
+
+The driver schedules every update at its timestamp against the
+:class:`~repro.core.control.ClusterManager`'s master RIB, then batches
+per-node FIB synchronization on a control tick ``sync_interval_sec``
+after the latest unsynced update (modelling the control channel's
+distribution latency).  Synchronization is *incremental* --
+``ClusterManager.sync_node`` replays the delta journal into each node's
+live table with ``Dir24_8`` insert/remove, never a rebuild -- so
+forwarding events interleave with update application on the same
+simulation clock.
+
+Convergence bookkeeping: each applied update is pending until the tick
+that leaves no node stale; the lag from update arrival to that tick is
+one convergence sample (``convergence_usec`` histogram when metrics are
+on, running mean/max always).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..obs.metrics import active_registry
+from .churn import ChurnSchedule
+
+#: Default control-channel distribution latency: how long after an
+#: update the per-node FIB sync tick fires (and how often syncs batch
+#: under sustained churn).
+DEFAULT_SYNC_INTERVAL_SEC = 100e-6
+
+
+class ChurnDriver:
+    """Arms a churn schedule into a simulator; collects convergence."""
+
+    def __init__(self, manager, schedule: ChurnSchedule,
+                 sync_interval_sec: float = DEFAULT_SYNC_INTERVAL_SEC,
+                 metrics=None):
+        if sync_interval_sec <= 0:
+            raise ConfigurationError("sync interval must be positive")
+        self.manager = manager
+        self.schedule = schedule
+        self.sync_interval_sec = sync_interval_sec
+        self.sim = None
+        # Update accounting.
+        self.updates_offered = len(schedule)
+        self.updates_applied = 0
+        self.announced = 0
+        self.reannounced = 0
+        self.withdrawn = 0
+        self.skipped = 0
+        # FIB-side accounting (summed over nodes).
+        self.fib_ops = 0
+        self.rebuilds = 0
+        self.sync_ticks = 0
+        # Convergence bookkeeping.
+        self.convergence_count = 0
+        self.convergence_sum = 0.0
+        self.convergence_max = 0.0
+        self.unconverged = 0
+        self.last_update_at: Optional[float] = None
+        self.converged_at: Optional[float] = None
+        self._pending = []
+        self._tick_scheduled = False
+        registry = metrics if metrics is not None else active_registry()
+        self.obs = registry if registry.enabled else None
+        self._observe_convergence = (
+            registry.histogram(
+                "convergence_usec",
+                help="per-update FIB convergence lag").bind()
+            if self.obs is not None else None)
+
+    # -- wiring --------------------------------------------------------------
+
+    def arm(self, sim) -> None:
+        """Schedule every update (and the sync ticks they trigger)."""
+        if self.sim is not None:
+            raise ConfigurationError("driver is already armed")
+        self.sim = sim
+        for update in self.schedule:
+            sim.schedule_timer_at(update.time,
+                                  lambda u=update: self._apply(u))
+
+    # -- update application --------------------------------------------------
+
+    def _apply(self, update) -> None:
+        manager = self.manager
+        prefix = update.prefix
+        if update.is_withdrawal:
+            if prefix not in manager.rib:
+                self.skipped += 1
+                return
+            manager.withdraw(prefix)
+            self.withdrawn += 1
+        else:
+            existed = prefix in manager.rib
+            try:
+                manager.announce(prefix, update.port)
+            except ConfigurationError:
+                # The port lost its owner mid-run (node removed): a real
+                # feed would see the session drop; we skip the update.
+                self.skipped += 1
+                return
+            if existed:
+                self.reannounced += 1
+            else:
+                self.announced += 1
+        self.updates_applied += 1
+        now = self.sim.now
+        self.last_update_at = now
+        self._pending.append(now)
+        if not self._tick_scheduled:
+            self._tick_scheduled = True
+            self.sim.schedule_timer(self.sync_interval_sec, self._sync_tick)
+
+    def _sync_tick(self) -> None:
+        self._tick_scheduled = False
+        self.sync_ticks += 1
+        manager = self.manager
+        now = self.sim.now
+        for node_id in manager.stale_nodes():
+            result = manager.sync_node(node_id)
+            self.fib_ops += result.ops_applied
+            self.rebuilds += int(result.rebuilt)
+        # Everything pending is now distributed: sample convergence lag.
+        for arrived in self._pending:
+            lag = now - arrived
+            self.convergence_count += 1
+            self.convergence_sum += lag
+            if lag > self.convergence_max:
+                self.convergence_max = lag
+            if self._observe_convergence is not None:
+                self._observe_convergence(lag * 1e6)
+        self._pending.clear()
+        self.converged_at = now
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def mean_convergence_sec(self) -> float:
+        return (self.convergence_sum / self.convergence_count
+                if self.convergence_count else 0.0)
+
+    @property
+    def final_convergence_sec(self) -> float:
+        """Lag from the last applied update until every FIB was current
+        (NaN when the run ended with updates still undistributed)."""
+        if self.last_update_at is None or self.converged_at is None \
+                or self._pending:
+            return float("nan")
+        return self.converged_at - self.last_update_at
+
+    def finalize(self) -> None:
+        """Close the books after the simulation ran (called by
+        ``RouteBricksRouter.simulate``)."""
+        import math
+
+        self.unconverged = len(self._pending)
+        final = self.final_convergence_sec
+        if self.obs is not None and not math.isnan(final):
+            self.obs.gauge(
+                "convergence_seconds",
+                help="lag from the last update to full FIB distribution",
+            ).set(final)

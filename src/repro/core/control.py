@@ -11,6 +11,7 @@ versioned FIB snapshots and explicit consistency checks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -19,6 +20,36 @@ from ..net.addresses import Prefix
 from ..results import RunResult
 from ..routing.table import Route, RoutingTable
 from .mac_encoding import mac_trick_feasible
+
+#: Journal ops: install/refresh the prefix -> node mapping, or drop it.
+FIB_SET = "set"
+FIB_DEL = "del"
+
+#: Delta-journal size cap.  When the journal outgrows this, the oldest
+#: half is discarded and nodes whose FIB predates the remaining window
+#: fall back to a full rebuild on their next sync.
+MAX_JOURNAL_ENTRIES = 1 << 18
+
+
+@dataclass(frozen=True)
+class FibDelta:
+    """One compiled FIB change: ``op`` is :data:`FIB_SET` (map ``prefix``
+    to egress node ``node_id``) or :data:`FIB_DEL` (drop the mapping)."""
+
+    version: int
+    op: str
+    prefix: Prefix
+    node_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SyncResult:
+    """What one node's FIB synchronization did."""
+
+    node_id: int
+    version: int          # FIB version after the sync
+    ops_applied: int      # incremental deltas applied (0 if rebuilt)
+    rebuilt: bool         # True when the journal window forced a rebuild
 
 
 @dataclass
@@ -71,6 +102,12 @@ class ClusterManager:
         self._port_owner: Dict[int, int] = {}
         self._next_node_id = 0
         self.rib_version = 0
+        #: Compiled-FIB delta journal (see :class:`FibDelta`): every RIB
+        #: or health change appends the FIB-level ops it implies, so a
+        #: node can catch up incrementally instead of rebuilding.
+        self._journal: List[FibDelta] = []
+        #: Versions <= this floor fell out of the journal window.
+        self._journal_floor = 0
 
     # -- membership -----------------------------------------------------------
 
@@ -92,11 +129,19 @@ class ClusterManager:
 
     def remove_node(self, node_id: int) -> None:
         """Remove a server; its port's routes become unresolvable until
-        the port is reassigned."""
+        the port is reassigned.  The compiled FIB changes (the removed
+        node's routes drop out), so the master version is bumped --
+        otherwise previously-pushed FIBs would keep routing to the
+        removed node while ``stale_nodes()``/``check_consistency()``
+        report everything current."""
         if node_id not in self._nodes:
             raise ConfigurationError("no node %d" % node_id)
         state = self._nodes.pop(node_id)
         del self._port_owner[state.external_port]
+        self.rib_version += 1
+        self._journal_extend(
+            (FIB_DEL, prefix, None)
+            for prefix in self._owned_prefixes(state.external_port))
 
     def nodes(self) -> List[int]:
         return sorted(self._nodes)
@@ -105,6 +150,14 @@ class ClusterManager:
         """Members currently believed healthy."""
         return sorted(node_id for node_id, state in self._nodes.items()
                       if state.alive)
+
+    def ports(self) -> List[int]:
+        """All owned external ports, sorted."""
+        return sorted(self._port_owner)
+
+    def owner_of(self, external_port: int) -> Optional[int]:
+        """Node id owning ``external_port`` (``None`` if unowned)."""
+        return self._port_owner.get(external_port)
 
     def failed_nodes(self) -> List[int]:
         """Members marked down by the health layer (still cluster members;
@@ -129,6 +182,9 @@ class ClusterManager:
             return
         state.alive = False
         self.rib_version += 1
+        self._journal_extend(
+            (FIB_DEL, prefix, None)
+            for prefix in self._owned_prefixes(state.external_port))
 
     def mark_recovered(self, node_id: int) -> None:
         """A rebooted server rejoined: empty FIB, routes restored."""
@@ -141,6 +197,9 @@ class ClusterManager:
         state.fib = None           # reboot: it remembers nothing
         state.fib_version = 0
         self.rib_version += 1
+        self._journal_extend(
+            (FIB_SET, prefix, node_id)
+            for prefix in self._owned_prefixes(state.external_port))
 
     def handle_node_failure(self, node_id: int,
                             push: bool = True) -> ProvisionUpdate:
@@ -186,6 +245,26 @@ class ClusterManager:
 
     # -- RIB / FIB -------------------------------------------------------------
 
+    def _owned_prefixes(self, external_port: int) -> List[Prefix]:
+        return [prefix for prefix, port in self.rib.items()
+                if port == external_port]
+
+    def _journal_extend(self, deltas) -> None:
+        """Append FIB-level ops at the current master version, trimming
+        the journal at a version boundary when it outgrows its cap."""
+        version = self.rib_version
+        self._journal.extend(
+            FibDelta(version=version, op=op, prefix=prefix, node_id=node_id)
+            for op, prefix, node_id in deltas)
+        if len(self._journal) > MAX_JOURNAL_ENTRIES:
+            drop = len(self._journal) // 2
+            cut_version = self._journal[drop - 1].version
+            while (drop < len(self._journal)
+                   and self._journal[drop].version == cut_version):
+                drop += 1
+            self._journal_floor = cut_version
+            del self._journal[:drop]
+
     def announce(self, prefix, external_port: int) -> None:
         """Install or move a prefix to an external port in the master RIB."""
         if isinstance(prefix, str):
@@ -194,6 +273,13 @@ class ClusterManager:
             raise ConfigurationError("no node owns port %d" % external_port)
         self.rib[prefix] = external_port
         self.rib_version += 1
+        owner = self._port_owner[external_port]
+        if self._nodes[owner].alive:
+            self._journal_extend([(FIB_SET, prefix, owner)])
+        else:
+            # Routes to a dark port are withheld from the compiled FIB
+            # until the owner recovers (see build_fib).
+            self._journal_extend([(FIB_DEL, prefix, None)])
 
     def withdraw(self, prefix) -> None:
         if isinstance(prefix, str):
@@ -202,6 +288,16 @@ class ClusterManager:
             raise ConfigurationError("prefix %s not announced" % prefix)
         del self.rib[prefix]
         self.rib_version += 1
+        self._journal_extend([(FIB_DEL, prefix, None)])
+
+    def fib_deltas(self, since_version: int) -> Optional[List[FibDelta]]:
+        """Compiled-FIB ops advancing ``since_version`` to the current
+        version, or ``None`` when the journal no longer covers the gap
+        (the caller must fall back to a full rebuild)."""
+        if since_version < self._journal_floor:
+            return None
+        return [delta for delta in self._journal
+                if delta.version > since_version]
 
     def build_fib(self) -> RoutingTable:
         """Compile the RIB into a node FIB (prefix -> owning node id).
@@ -221,22 +317,66 @@ class ClusterManager:
                                         next_hop=prefix.network))
         return fib
 
-    def push_fibs(self) -> int:
-        """Distribute the compiled FIB to every live node; returns the
-        version.  Dead nodes cannot receive a push -- they rejoin stale
-        and get a fresh table on recovery."""
-        fib_template = self.build_fib()
-        for state in self._nodes.values():
-            if not state.alive:
-                continue
+    def sync_node(self, node_id: int) -> SyncResult:
+        """Bring one live node's FIB up to the master version.
+
+        Incremental by default: the delta journal is replayed against
+        the node's existing table *in place* (``Dir24_8`` insert/remove,
+        never a rebuild), so a dataplane holding a reference to the
+        table sees updates live.  A node whose FIB predates the journal
+        window (or has none yet) gets a full rebuild instead.
+        """
+        state = self._nodes.get(node_id)
+        if state is None:
+            raise ConfigurationError("no node %d" % node_id)
+        if not state.alive:
+            raise ConfigurationError(
+                "node %d is down; it resyncs on recovery" % node_id)
+        started = time.perf_counter()
+        deltas = (self.fib_deltas(state.fib_version)
+                  if state.fib is not None else None)
+        if deltas is None:
             # Each node gets its own table instance (independent mutation
-            # in tests mirrors independent memory in reality) built from
-            # the same snapshot.
-            table = RoutingTable()
-            for prefix, route in fib_template.routes():
-                table.add_route(prefix, route)
-            state.fib = table
+            # in tests mirrors independent memory in reality).
+            state.fib = self.build_fib()
             state.fib_version = self.rib_version
+            result = SyncResult(node_id=node_id, version=self.rib_version,
+                                ops_applied=len(state.fib), rebuilt=True)
+        else:
+            fib = state.fib
+            applied = 0
+            for delta in deltas:
+                if delta.op == FIB_SET:
+                    fib.add_route(delta.prefix,
+                                  Route(port=delta.node_id,
+                                        next_hop=delta.prefix.network))
+                    applied += 1
+                elif fib.has_route(delta.prefix):
+                    fib.remove_route(delta.prefix)
+                    applied += 1
+            state.fib_version = self.rib_version
+            result = SyncResult(node_id=node_id, version=self.rib_version,
+                                ops_applied=applied, rebuilt=False)
+        from ..obs.metrics import active_registry
+        registry = active_registry()
+        if registry.enabled:
+            registry.counter(
+                "fib_updates_applied",
+                "FIB update operations applied to per-node tables",
+            ).inc(result.ops_applied, node=node_id)
+            registry.counter(
+                "fib_update_seconds",
+                "wall seconds spent applying per-node FIB updates",
+            ).inc(time.perf_counter() - started, node=node_id)
+        return result
+
+    def push_fibs(self) -> int:
+        """Bring every live node's FIB to the master version; returns the
+        version.  Nodes that can catch up from the delta journal do so
+        incrementally (see :meth:`sync_node`); dead nodes cannot receive
+        a push -- they rejoin stale and get a fresh table on recovery."""
+        for node_id in self.live_nodes():
+            self.sync_node(node_id)
         return self.rib_version
 
     def fib_of(self, node_id: int) -> RoutingTable:

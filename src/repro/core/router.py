@@ -83,6 +83,11 @@ class SimulationReport(RunResult):
     fault_events: int = 0
     fault_flushed_packets: int = 0
     convergence: List = field(default_factory=list)
+    #: Packets whose destination had no route in the ingress node's FIB
+    #: at arrival time (only populated by FIB-routed runs, where the
+    #: egress node is resolved by a live per-node lookup instead of
+    #: being precomputed -- see ``route_via_fib``).
+    fib_miss_packets: int = 0
     #: How the run was executed (filled in by repro.parallel): number of
     #: worker partitions, conservative-lookahead epochs, and total DES
     #: events across all partitions.  A single-sim run reports workers=1
@@ -282,6 +287,8 @@ class RouteBricksRouter:
                  manager=None,
                  detection_latency_sec: Optional[float] = None,
                  fib_push_latency_sec: float = 0.0,
+                 route_via_fib: bool = False,
+                 churn=None,
                  metrics=None) -> SimulationReport:
         """Run traffic through the cluster.
 
@@ -301,6 +308,16 @@ class RouteBricksRouter:
         ``manager``, node failures also trigger the control-plane
         reaction (reprovision + FIB re-push) and each reaction's
         convergence record lands in ``report.convergence``.
+
+        ``route_via_fib`` makes forwarding consult the control plane's
+        per-node FIBs *live*: each event's egress field is ignored and
+        the ingress node instead looks up the packet's IP destination in
+        its own FIB at arrival time, so control-plane churn applied on
+        the simulation clock (``churn``) changes where packets go
+        mid-run.  Destinations without a route are dropped and counted
+        in ``report.fib_miss_packets``.  ``churn`` is an armable driver
+        (see :class:`~repro.control.ChurnDriver`) whose scheduled
+        update/sync callbacks interleave with forwarding events.
         """
         from ..workloads.spec import WorkloadSpec
 
@@ -340,16 +357,36 @@ class RouteBricksRouter:
                     if detection_latency_sec is None
                     else detection_latency_sec),
                 fib_push_latency_sec=fib_push_latency_sec)
+        if route_via_fib and manager is None:
+            raise ConfigurationError(
+                "route_via_fib needs a ClusterManager supplying per-node "
+                "FIBs (manager=...)")
+        if churn is not None:
+            churn.arm(sim)
         report = SimulationReport()
         meter = ReorderingMeter()
         from ..obs.metrics import active_registry
         registry = metrics if metrics is not None else active_registry()
+        # Forwarding-latency tail timeline, recorded only for control-
+        # plane runs (churn / FIB-routed): fault-free runs stay
+        # bit-identical with their partitioned twins.
+        latency_tl = None
+        if registry.enabled and (route_via_fib or churn is not None):
+            from ..obs.hooks import observer_interval
+            latency_tl = registry.timeline(
+                "cluster_latency_usec",
+                bin_sec=observer_interval(until),
+                help="end-to-end forwarding latency during churn "
+                     "(max per bin = the tail)").bind()
 
         def on_egress(packet: Packet, now: float) -> None:
             report.delivered_packets += 1
             report.delivered_bytes += packet.length
             meter.observe(packet)
-            report.latency_usec.observe(to_usec(now - packet.arrival_time))
+            latency = to_usec(now - packet.arrival_time)
+            report.latency_usec.observe(latency)
+            if latency_tl is not None:
+                latency_tl(now, latency)
             if len(packet.path) <= 2:
                 report.direct_packets += 1
             else:
@@ -405,14 +442,35 @@ class RouteBricksRouter:
             for node in nodes:
                 node.egress_callback = on_egress
 
-        for time, ingress, egress, packet in events:
-            if not 0 <= ingress < self.num_nodes:
-                raise ConfigurationError("bad ingress node %r" % ingress)
-            if not 0 <= egress < self.num_nodes:
-                raise ConfigurationError("bad egress node %r" % egress)
-            report.offered_packets += 1
-            sim.schedule_timer_at(time, lambda n=nodes[ingress], p=packet,
-                                  e=egress: n.ingress(p, e))
+        if route_via_fib:
+            fib_of = manager.fib_of
+
+            def fib_ingress(node, packet):
+                # The egress node is whatever the ingress node's *own*
+                # FIB says right now -- churn applied on the simulation
+                # clock changes the answer mid-run.
+                route = fib_of(node.node_id).lookup(int(packet.ip.dst))
+                if route is None:
+                    report.fib_miss_packets += 1
+                    node._count_drop("fib_miss")
+                    return
+                node.ingress(packet, route.port)
+
+            for time, ingress, egress, packet in events:
+                if not 0 <= ingress < self.num_nodes:
+                    raise ConfigurationError("bad ingress node %r" % ingress)
+                report.offered_packets += 1
+                sim.schedule_timer_at(time, lambda n=nodes[ingress],
+                                      p=packet: fib_ingress(n, p))
+        else:
+            for time, ingress, egress, packet in events:
+                if not 0 <= ingress < self.num_nodes:
+                    raise ConfigurationError("bad ingress node %r" % ingress)
+                if not 0 <= egress < self.num_nodes:
+                    raise ConfigurationError("bad egress node %r" % egress)
+                report.offered_packets += 1
+                sim.schedule_timer_at(time, lambda n=nodes[ingress], p=packet,
+                                      e=egress: n.ingress(p, e))
         observer = None
         if registry.enabled:
             from ..obs.hooks import ClusterObserver, observer_interval
@@ -423,6 +481,8 @@ class RouteBricksRouter:
         sim.run(until=until)
         if observer is not None:
             observer.stop()
+        if churn is not None:
+            churn.finalize()
         for reseq in resequencers:
             # Final flush: release anything still held back.
             reseq.expire(sim.now + self.resequence_timeout_sec * 2)

@@ -63,6 +63,7 @@ QUICK_BENCHMARKS = (
     "timed_server",
     "parallel_scaling",
     "stateful_scr",
+    "fib_churn",
 )
 
 #: Numeric dict keys harvested as rate scalars.
@@ -72,7 +73,8 @@ _RATE_KEY_HINTS = ("gbps", "mpps", "mbps", "pps", "rate")
 #: telemetry) that the regression checker surfaces but never gates on --
 #: they track the machine as much as the code.
 _PERF_KEY_HINTS = ("events_per_sec", "speedup", "workers",
-                   "barrier_wait", "lookahead", "imbalance")
+                   "barrier_wait", "lookahead", "imbalance",
+                   "convergence")
 #: String dict keys recorded verbatim (e.g. which resource binds).
 _LABEL_KEY_HINTS = ("binding", "bottleneck")
 

@@ -18,13 +18,14 @@ with "the Click distribution's implementation of the D-lookup algorithm
 from .trie import BinaryTrie
 from .dir24_8 import Dir24_8
 from .table import Route, RoutingTable
-from .rib_gen import generate_rib, PREFIX_LENGTH_MIX
+from .rib_gen import generate_prefixes, generate_rib, PREFIX_LENGTH_MIX
 
 __all__ = [
     "BinaryTrie",
     "Dir24_8",
     "Route",
     "RoutingTable",
+    "generate_prefixes",
     "generate_rib",
     "PREFIX_LENGTH_MIX",
 ]

@@ -189,12 +189,20 @@ class Dir24_8:
             tid = -(int(tbl[offset]) + 2)
             lvals = self._long_values[tid]
             ldeps = self._long_depths[tid]
+            # Only the slot's *background* entries (depth <= 24, i.e. not
+            # owned by a longer prefix) belong to short-prefix writes;
+            # entries owned by >24-bit prefixes must never be disturbed.
+            background = ldeps <= 24
             if overwrite_depth is None:
-                lmask = ldeps <= depth
+                lmask = background & (ldeps <= depth)
             else:
-                lmask = ldeps == overwrite_depth
+                lmask = background & (ldeps == overwrite_depth)
             lvals[lmask] = vindex
             ldeps[lmask] = depth
+            # TBL24's recorded depth for a diverted slot tracks the
+            # background's prefix length (every background entry shares
+            # it -- the slot-selection mask above matched it), so record
+            # the new background depth alongside the rewrite.
             dep[offset] = depth
 
     def _write_long(self, prefix: Prefix, vindex: int, depth: int,
@@ -219,6 +227,16 @@ class Dir24_8:
             lmask = ldeps[sl] == overwrite_depth
         lvals[sl][lmask] = vindex
         ldeps[sl][lmask] = depth
+        if overwrite_depth is not None and not (ldeps > 24).any():
+            # Removal left no >24-bit prefix under this slot: every entry
+            # now holds the (uniform) background route, so fold it back
+            # into TBL24, un-divert the slot, and recycle the table.
+            # Without this the second-level pool only ever grows --
+            # long-prefix churn leaks a 256-entry table per cycle.
+            if (lvals == lvals[0]).all():
+                self._tbl24[slot] = int(lvals[0])
+                self._depth24[slot] = int(ldeps[0])
+                self._free_long.append(tid)
 
     # -- lookups -----------------------------------------------------------
 

@@ -11,7 +11,7 @@ tail of short prefixes and a sliver of >24 prefixes.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..calibration import ROUTING_TABLE_ENTRIES
 from ..net.addresses import IPv4Address, MACAddress, Prefix
@@ -40,21 +40,44 @@ PREFIX_LENGTH_MIX: List[Tuple[int, float]] = [
 ]
 
 
+def generate_prefixes(num_entries: int, seed: int = 1) -> Iterator[Prefix]:
+    """Deterministic stream of ``num_entries`` unique prefixes with the
+    DFZ length mix.
+
+    Prefixes are drawn uniformly from the unicast space (1.0.0.0 --
+    223.255.255.255) and deduplicated.  This is the raw generator behind
+    :func:`generate_rib`; the control plane reuses it to announce a
+    full-Internet-scale master RIB (~1 M entries) without materializing
+    a lookup table first.
+    """
+    if num_entries < 1:
+        raise ValueError("num_entries must be >= 1, got %r" % num_entries)
+    rng = random.Random(seed)
+    lengths, weights = zip(*PREFIX_LENGTH_MIX)
+    seen = set()
+    while len(seen) < num_entries:
+        length = rng.choices(lengths, weights=weights)[0]
+        # Unicast space only: first octet in [1, 223].
+        addr = (rng.randint(1, 223) << 24) | rng.getrandbits(24)
+        prefix = Prefix.from_address(addr, length)
+        if prefix in seen:
+            continue
+        seen.add(prefix)
+        yield prefix
+
+
 def generate_rib(num_entries: int = ROUTING_TABLE_ENTRIES,
                  num_ports: int = 4,
                  seed: int = 1,
                  table: Optional[RoutingTable] = None) -> RoutingTable:
     """Build a synthetic routing table with a realistic prefix-length mix.
 
-    Prefixes are drawn uniformly from the unicast space (1.0.0.0 --
-    223.255.255.255), deduplicated, and each mapped to one of ``num_ports``
-    next hops round-robin.  Deterministic for a given ``seed``.
+    Prefixes come from :func:`generate_prefixes`, each mapped to one of
+    ``num_ports`` next hops round-robin.  Deterministic for a given
+    ``seed``.
     """
-    if num_entries < 1:
-        raise ValueError("num_entries must be >= 1, got %r" % num_entries)
     if num_ports < 1:
         raise ValueError("num_ports must be >= 1, got %r" % num_ports)
-    rng = random.Random(seed)
     if table is None:
         table = RoutingTable()
     next_hops = [
@@ -63,19 +86,8 @@ def generate_rib(num_entries: int = ROUTING_TABLE_ENTRIES,
               next_hop_mac=MACAddress(0x020000000000 | p))
         for p in range(num_ports)
     ]
-    lengths, weights = zip(*PREFIX_LENGTH_MIX)
-    seen = set()
-    installed = 0
-    while installed < num_entries:
-        length = rng.choices(lengths, weights=weights)[0]
-        # Unicast space only: first octet in [1, 223].
-        addr = (rng.randint(1, 223) << 24) | rng.getrandbits(24)
-        prefix = Prefix.from_address(addr, length)
-        if prefix in seen:
-            continue
-        seen.add(prefix)
+    for installed, prefix in enumerate(generate_prefixes(num_entries, seed)):
         table.add_route(prefix, next_hops[installed % num_ports])
-        installed += 1
     return table
 
 

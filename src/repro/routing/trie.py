@@ -108,11 +108,18 @@ class BinaryTrie:
         return node.has_value
 
     def lookup_covering(self, address, max_length: int) -> Tuple[Optional[Prefix], Optional[object]]:
-        """Longest match for ``address`` among prefixes of length <= ``max_length``."""
+        """Longest match for ``address`` among prefixes of length <= ``max_length``.
+
+        ``max_length`` may be negative (removing a default route asks for
+        the cover of ``/0``, i.e. length <= -1): nothing can cover it, so
+        the answer is explicitly ``(None, None)``.
+        """
+        if max_length < 0:
+            return (None, None)
         addr = int(IPv4Address(address))
         best = (None, None)
         node = self._root
-        if node.has_value and max_length >= 0:
+        if node.has_value:
             best = (Prefix(0, 0), node.value)
         for depth in range(min(32, max_length)):
             bit = (addr >> (31 - depth)) & 1

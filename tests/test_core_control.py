@@ -214,3 +214,102 @@ class TestGrowWhileRouting:
         for node in cluster.nodes():
             assert cluster.fib_of(node).lookup("10.4.2.2").port == new_node
         assert cluster.capacity_bps() == 50e9
+
+
+class TestRemoveNodeStaleness:
+    def test_remove_node_marks_peers_stale(self, cluster):
+        """Removing a node changes the compiled FIB (its routes drop
+        out), so previously-pushed peers must read as stale; before the
+        fix the version never moved and check_consistency stayed True
+        while every peer kept routing to the ghost."""
+        assert cluster.stale_nodes() == []
+        version = cluster.rib_version
+        cluster.remove_node(3)
+        assert cluster.rib_version > version
+        assert cluster.stale_nodes() == [0, 1, 2]
+        # Peers still hold the ghost route until the next push.
+        assert cluster.fib_of(0).lookup("10.3.1.1").port == 3
+        assert not cluster.check_consistency([IPv4Address("10.3.1.1")])
+        cluster.push_fibs()
+        assert cluster.stale_nodes() == []
+        assert cluster.fib_of(0).lookup("10.3.1.1") is None
+        assert cluster.check_consistency([IPv4Address("10.3.1.1")])
+
+
+class TestDeltaJournal:
+    def test_sync_is_incremental_after_first_push(self, cluster):
+        cluster.announce("172.16.0.0/16", 1)
+        result = cluster.sync_node(0)
+        assert not result.rebuilt
+        assert result.ops_applied == 1
+        assert cluster.fib_of(0).lookup("172.16.1.1").port == 1
+
+    def test_first_sync_is_a_rebuild(self, cluster):
+        node = cluster.add_node(external_port=4)
+        result = cluster.sync_node(node)
+        assert result.rebuilt
+        assert result.ops_applied == len(cluster.fib_of(node))
+
+    def test_withdraw_streams_a_delete(self, cluster):
+        cluster.withdraw("10.2.0.0/16")
+        result = cluster.sync_node(1)
+        assert not result.rebuilt and result.ops_applied == 1
+        assert cluster.fib_of(1).lookup("10.2.1.1") is None
+
+    def test_dataplane_sees_updates_live(self, cluster):
+        """The synced table is mutated in place: a holder of the FIB
+        reference observes the new routes without re-fetching."""
+        fib = cluster.fib_of(2)
+        cluster.announce("172.16.0.0/16", 0)
+        cluster.sync_node(2)
+        assert fib.lookup("172.16.1.1").port == 0
+
+    def test_fail_recover_streams_deltas(self, cluster):
+        cluster.mark_failed(3)
+        for node in (0, 1, 2):
+            result = cluster.sync_node(node)
+            assert not result.rebuilt
+            assert cluster.fib_of(node).lookup("10.3.1.1") is None
+        cluster.mark_recovered(3)
+        result = cluster.sync_node(0)
+        assert not result.rebuilt
+        assert cluster.fib_of(0).lookup("10.3.1.1").port == 3
+
+    def test_journal_window_forces_rebuild(self, cluster, monkeypatch):
+        """A node whose FIB predates the trimmed journal window gets a
+        full rebuild, and the journal never splits one version."""
+        from repro.core import control as control_mod
+
+        monkeypatch.setattr(control_mod, "MAX_JOURNAL_ENTRIES", 8)
+        for i in range(12):
+            cluster.announce("172.16.%d.0/24" % i, i % 4)
+        assert cluster.fib_deltas(cluster.rib_version) == []
+        # Node 0's pushed version fell behind the floor.
+        assert cluster.fib_deltas(0) is None
+        result = cluster.sync_node(0)
+        assert result.rebuilt
+        assert cluster.fib_of(0).lookup("172.16.11.1").port == 3
+        # The surviving journal still replays cleanly for a mid-gap
+        # version at or above the floor.
+        floor = cluster._journal_floor
+        deltas = cluster.fib_deltas(floor)
+        assert deltas is not None
+        assert all(d.version > floor for d in deltas)
+
+    def test_incremental_matches_rebuild(self, cluster):
+        """After mixed churn, an incrementally synced node answers
+        exactly like a freshly rebuilt one."""
+        cluster.announce("172.16.0.0/16", 0)
+        cluster.withdraw("10.1.0.0/16")
+        cluster.announce("10.0.0.0/16", 2)      # moved
+        cluster.mark_failed(3)
+        cluster.sync_node(0)
+        reference = cluster.build_fib()
+        probes = ["10.0.1.1", "10.1.1.1", "10.2.1.1", "10.3.1.1",
+                  "172.16.1.1", "9.9.9.9"]
+        for probe in probes:
+            mine = cluster.fib_of(0).lookup(probe)
+            theirs = reference.lookup(probe)
+            assert (mine is None) == (theirs is None)
+            if mine is not None:
+                assert mine.port == theirs.port

@@ -188,3 +188,145 @@ def test_dir24_8_batch_lookup_matches_scalar(data):
         min_size=1, max_size=20))
     batch = fast.lookup_batch(np.array(probes, dtype=np.uint32))
     assert batch == [fast.lookup(p) for p in probes]
+
+
+class TestUpdatePathRegressions:
+    """Update-path regressions found while building live FIB churn."""
+
+    def test_default_route_insert_remove_reinsert_under_traffic(self):
+        """Removing /0 asks the trie what covers it (length <= -1):
+        nothing does, so its entries must reset to empty -- including
+        level-2 backgrounds -- and a reinsert must take again."""
+        d = Dir24_8()
+        d.insert(Prefix.parse("0.0.0.0/0"), "default")
+        d.insert(Prefix.parse("10.1.0.0/16"), "specific")
+        d.insert(Prefix.parse("10.1.2.128/25"), "long")
+        assert d.lookup("99.0.0.1") == "default"
+        assert d.lookup("10.1.2.1") == "specific"
+
+        d.remove(Prefix.parse("0.0.0.0/0"))
+        # Uncovered addresses miss; installed prefixes are undisturbed.
+        assert d.lookup("99.0.0.1") is None
+        assert d.lookup("10.1.2.1") == "specific"
+        assert d.lookup("10.1.2.200") == "long"
+        # TBL24 slots the default owned are genuinely empty again, not
+        # stale: depth 0, value -1.
+        assert int(d._tbl24[(99 << 16)]) == -1
+        assert int(d._depth24[(99 << 16)]) == 0
+        assert len(d) == 2
+
+        # Reinsert mid-churn: covers everything the specifics do not.
+        d.insert(Prefix.parse("0.0.0.0/0"), "default2")
+        assert d.lookup("99.0.0.1") == "default2"
+        assert d.lookup("10.1.2.200") == "long"
+        assert len(d) == 3
+
+    def test_default_route_resets_level2_background(self):
+        """/0 removal must clear the *background* entries of a diverted
+        slot while leaving the >24-bit owner alone."""
+        d = Dir24_8()
+        d.insert(Prefix.parse("0.0.0.0/0"), "default")
+        d.insert(Prefix.parse("20.0.0.128/26"), "long")
+        slot = 20 << 16
+        assert int(d._tbl24[slot]) <= -2  # diverted
+        d.remove(Prefix.parse("0.0.0.0/0"))
+        assert d.lookup("20.0.0.1") is None     # background cleared
+        assert d.lookup("20.0.0.129") == "long"  # owner intact
+        assert d.lookup("21.0.0.1") is None
+
+    def test_interleaved_short_long_churn_matches_trie(self):
+        """Interleaved /20 + /28 insert/remove under one TBL24 range,
+        checked against the shadow trie at every step."""
+        d = Dir24_8()
+        oracle = BinaryTrie()
+        p20 = Prefix.parse("30.0.0.0/20")
+        p28 = Prefix.parse("30.0.0.16/28")
+        probes = [(30 << 24) | x for x in (0, 15, 16, 31, 200, 0xFFF)] \
+            + [(31 << 24)]
+
+        def check():
+            for probe in probes:
+                assert d.lookup(probe) == oracle.lookup(probe), hex(probe)
+
+        script = [("i", p20, "short"), ("i", p28, "long"),
+                  ("r", p20, None), ("i", p20, "short2"),
+                  ("r", p28, None), ("i", p28, "long2"),
+                  ("r", p20, None), ("r", p28, None)]
+        for op, prefix, value in script:
+            if op == "i":
+                d.insert(prefix, value)
+                oracle.insert(prefix, value)
+            else:
+                d.remove(prefix)
+                oracle.remove(prefix)
+            check()
+        assert len(d) == 0
+
+    def test_long_prefix_churn_reclaims_level2_tables(self):
+        """Removing the last >24-bit prefix under a slot must un-divert
+        it and recycle the 256-entry table; before the fix the pool only
+        ever grew, leaking one table per insert/remove cycle."""
+        d = Dir24_8()
+        d.insert(Prefix.parse("40.0.0.0/16"), "cover")
+        p28 = Prefix.parse("40.0.1.16/28")
+        d.insert(p28, "long")
+        d.remove(p28)
+        baseline = d.memory_bytes()
+        assert d._free_long, "level-2 table was not recycled"
+        assert int(d._tbl24[(40 << 16) | 1]) >= -1  # un-diverted
+        assert d.lookup("40.0.1.17") == "cover"
+        for _ in range(50):
+            d.insert(p28, "long")
+            d.remove(p28)
+        # Bounded: churn reuses the one recycled table, no leak.
+        assert d.memory_bytes() == baseline
+        assert len(d._long_values) == 1
+
+    def test_differential_churn_fuzz(self):
+        """Seeded insert/remove/replace storms vs a fresh rebuild and
+        the trie oracle: lookups, size, memory and refcounts all agree."""
+        import random as _random
+
+        lengths = (8, 12, 16, 20, 22, 24, 25, 26, 28, 30, 32)
+        for seed in range(5):
+            rng = _random.Random(0xC0FFEE + seed)
+            d = Dir24_8()
+            oracle = BinaryTrie()
+            live = {}
+            # Confined address space so prefixes collide and nest.
+            for step in range(300):
+                length = rng.choice(lengths)
+                addr = (50 << 24) | (rng.getrandbits(10) << 14) \
+                    | rng.getrandbits(14)
+                prefix = Prefix.from_address(addr, length)
+                if prefix in live and rng.random() < 0.5:
+                    d.remove(prefix)
+                    oracle.remove(prefix)
+                    del live[prefix]
+                else:
+                    value = "v%d" % rng.randrange(8)  # forces sharing
+                    d.insert(prefix, value)
+                    oracle.insert(prefix, value)
+                    live[prefix] = value
+            assert len(d) == len(live)
+            # Fresh rebuild from the surviving routes.
+            fresh = Dir24_8()
+            for prefix, value in live.items():
+                fresh.insert(prefix, value)
+            probes = [(50 << 24) | rng.getrandbits(24)
+                      for _ in range(400)]
+            probes += [p.network.value for p in live]
+            for probe in probes:
+                expect = oracle.lookup(probe)
+                assert d.lookup(probe) == expect, hex(probe)
+                assert fresh.lookup(probe) == expect, hex(probe)
+            # Churned table's memory stays within the fresh build plus
+            # the recycled-table pool (no unbounded growth).
+            slack = len(d._free_long) * (256 * 4 + 256)
+            assert d.memory_bytes() <= fresh.memory_bytes() + slack
+            # Value-slot refcounts: live slots sum to the route count,
+            # freed slots are exactly the None entries.
+            refs = sum(r for r in d._value_refs if r > 0)
+            assert refs == len(live)
+            freed = {i for i, v in enumerate(d._values) if v is None}
+            assert freed == set(d._free_values)
